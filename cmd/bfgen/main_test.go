@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly"
+)
+
+func TestRunModelsToStdout(t *testing.T) {
+	cases := map[string][]string{
+		"er":         {"-model", "er", "-m", "5", "-n", "5", "-p", "0.5"},
+		"gnm":        {"-model", "gnm", "-m", "5", "-n", "5", "-e", "10"},
+		"powerlaw":   {"-model", "powerlaw", "-m", "5", "-n", "5", "-e", "8"},
+		"prefattach": {"-model", "prefattach", "-m", "5", "-n", "5", "-e", "8"},
+		"complete":   {"-model", "complete", "-m", "3", "-n", "3"},
+		"dataset":    {"-model", "dataset", "-name", "github", "-scale", "1000"},
+	}
+	for name, args := range cases {
+		var out, errw strings.Builder
+		if err := run(args, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := butterfly.ReadKONECT(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("%s: output not parseable: %v", name, err)
+		}
+		if name == "complete" && g.NumEdges() != 9 {
+			t.Fatalf("complete: %d edges", g.NumEdges())
+		}
+	}
+}
+
+func TestRunMatrixMarketFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-model", "complete", "-m", "2", "-n", "2", "-format", "mm"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "%%MatrixMarket") {
+		t.Fatalf("not MatrixMarket: %q", out.String()[:30])
+	}
+	g, err := butterfly.ReadMatrixMarket(strings.NewReader(out.String()))
+	if err != nil || g.Count() != 1 {
+		t.Fatalf("parse back: %v", err)
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.g")
+	var errw strings.Builder
+	if err := run([]string{"-model", "complete", "-m", "2", "-n", "3", "-out", path}, io.Discard, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "wrote") {
+		t.Fatalf("no confirmation: %q", errw.String())
+	}
+	g, err := butterfly.ReadKONECTFile(path)
+	if err != nil || g.NumEdges() != 6 {
+		t.Fatalf("file wrong: %v", err)
+	}
+}
+
+func TestRunDeterministicSeed(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-model", "powerlaw", "-m", "20", "-n", "20", "-e", "40", "-seed", "9"}
+	if err := run(args, &a, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"badModel":       {"-model", "nope"},
+		"badFormat":      {"-model", "complete", "-m", "2", "-n", "2", "-format", "xml"},
+		"datasetNoName":  {"-model", "dataset"},
+		"badDataset":     {"-model", "dataset", "-name", "nope"},
+		"badProbability": {"-model", "er", "-p", "2"},
+		"tooManyEdges":   {"-model", "gnm", "-m", "2", "-n", "2", "-e", "100"},
+		"badFlag":        {"-bogus"},
+		"badOutPath":     {"-model", "complete", "-m", "1", "-n", "1", "-out", "/no/such/dir/f"},
+	}
+	for name, args := range cases {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Command bfpeel extracts k-tip and k-wing subgraphs and full tip/wing
+// decompositions from a bipartite graph (Section IV of the paper).
+//
+// Modes:
+//
+//	tip           the k-tip subgraph for -k and -side
+//	wing          the k-wing subgraph for -k
+//	tip-numbers   every vertex's tip number (histogram to stdout)
+//	wing-numbers  every edge's wing number (histogram to stdout)
+//
+// Examples:
+//
+//	bfpeel -dataset arxiv-cond-mat -scale 10 -mode tip -k 5
+//	bfpeel -file out.github -mode wing -k 10 -out out.github-10wing
+//	bfpeel -dataset producers -scale 20 -mode tip-numbers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"butterfly"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bfpeel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bfpeel", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		file    = fs.String("file", "", "KONECT-format input file")
+		mm      = fs.String("mm", "", "MatrixMarket input file")
+		dataset = fs.String("dataset", "", "paper dataset stand-in name")
+		scale   = fs.Int("scale", 1, "shrink factor for -dataset")
+		mode    = fs.String("mode", "tip", "tip|wing|tip-numbers|wing-numbers|densest")
+		k       = fs.Int64("k", 1, "peeling threshold")
+		side    = fs.String("side", "v1", "vertex side for tip modes: v1|v2")
+		ahead   = fs.Bool("lookahead", false, "use the Fig 8 look-ahead k-tip algorithm")
+		threads = fs.Int("threads", 1, ">1 runs the parallel/round-synchronous variants")
+		outPath = fs.String("out", "", "write resulting subgraph (tip/wing modes) to this KONECT file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*file, *mm, *dataset, *scale)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "input:", g)
+
+	var sd butterfly.Side
+	switch *side {
+	case "v1":
+		sd = butterfly.V1
+	case "v2":
+		sd = butterfly.V2
+	default:
+		return fmt.Errorf("unknown -side %q", *side)
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "tip":
+		var h *butterfly.Graph
+		switch {
+		case *threads > 1:
+			h, err = g.KTipParallel(*k, sd, *threads)
+		case *ahead:
+			h, err = g.KTipLookAhead(*k, sd)
+		default:
+			h, err = g.KTip(*k, sd)
+		}
+		if err != nil {
+			return err
+		}
+		return report(out, h, *outPath, fmt.Sprintf("%d-tip (%s side)", *k, sd), start)
+	case "wing":
+		var h *butterfly.Graph
+		if *threads > 1 {
+			h, err = g.KWingParallel(*k, *threads)
+		} else {
+			h, err = g.KWing(*k)
+		}
+		if err != nil {
+			return err
+		}
+		return report(out, h, *outPath, fmt.Sprintf("%d-wing", *k), start)
+	case "tip-numbers":
+		var tn []int64
+		if *threads > 1 {
+			tn, err = g.TipNumbersRounds(sd, *threads)
+		} else {
+			tn, err = g.TipNumbers(sd)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "tip numbers (%s side) in %.3fs:\n", sd, time.Since(start).Seconds())
+		histogram(out, tn)
+		return nil
+	case "wing-numbers":
+		wn := g.WingNumbers()
+		if *threads > 1 {
+			wn = g.WingNumbersRounds(*threads)
+		}
+		vals := make([]int64, len(wn))
+		for i, w := range wn {
+			vals[i] = w.Count
+		}
+		fmt.Fprintf(out, "wing numbers in %.3fs:\n", time.Since(start).Seconds())
+		histogram(out, vals)
+		return nil
+	case "densest":
+		res, err := g.DensestByButterflies(sd)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "densest-by-butterflies (%s side): %d vertices, %d butterflies, density %.2f (%.3fs)\n",
+			sd, res.Vertices, res.Butterflies, res.Density, time.Since(start).Seconds())
+		if *outPath != "" {
+			var h *butterfly.Graph
+			if sd == butterfly.V1 {
+				h, err = g.InducedSubgraph(res.Keep, nil)
+			} else {
+				h, err = g.InducedSubgraph(nil, res.Keep)
+			}
+			if err != nil {
+				return err
+			}
+			if err := h.WriteKONECTFile(*outPath); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "wrote", *outPath)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+}
+
+func report(out io.Writer, h *butterfly.Graph, path, label string, start time.Time) error {
+	fmt.Fprintf(out, "%s: %s (%.3fs)\n", label, h, time.Since(start).Seconds())
+	if path != "" {
+		if err := h.WriteKONECTFile(path); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "wrote", path)
+	}
+	return nil
+}
+
+// histogram prints "value: count" lines for the distinct values,
+// ascending, capped at 25 buckets with the tail summarized.
+func histogram(out io.Writer, vals []int64) {
+	counts := map[int64]int{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	keys := make([]int64, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	shown := keys
+	if len(shown) > 25 {
+		shown = shown[:25]
+	}
+	for _, k := range shown {
+		fmt.Fprintf(out, "  %8d: %d\n", k, counts[k])
+	}
+	if len(keys) > len(shown) {
+		fmt.Fprintf(out, "  … %d more distinct values up to %d\n", len(keys)-len(shown), keys[len(keys)-1])
+	}
+}
+
+func loadGraph(file, mm, dataset string, scale int) (*butterfly.Graph, error) {
+	set := 0
+	for _, s := range []string{file, mm, dataset} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("need exactly one of -file, -mm, -dataset")
+	}
+	switch {
+	case file != "":
+		return butterfly.ReadKONECTFile(file)
+	case mm != "":
+		return butterfly.ReadMatrixMarketFile(mm)
+	default:
+		return butterfly.GeneratePaperDataset(dataset, scale)
+	}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, err := butterfly.GenerateComplete(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.k44")
+	if err := g.WriteKONECTFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTip(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, extra := range [][]string{nil, {"-lookahead"}} {
+		var sb strings.Builder
+		args := append([]string{"-file", path, "-mode", "tip", "-k", "1"}, extra...)
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "1-tip (V1 side): Bipartite(|V1|=4, |V2|=4, |E|=16)") {
+			t.Fatalf("output: %q", sb.String())
+		}
+	}
+}
+
+func TestRunTipSideV2AndOut(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "peeled")
+	var sb strings.Builder
+	err := run([]string{"-file", writeTestGraph(t), "-mode", "tip", "-k", "1",
+		"-side", "v2", "-out", outPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote "+outPath) {
+		t.Fatalf("output: %q", sb.String())
+	}
+	g, err := butterfly.ReadKONECTFile(outPath)
+	if err != nil || g.NumEdges() != 16 {
+		t.Fatalf("peeled file wrong: %v", err)
+	}
+}
+
+func TestRunWing(t *testing.T) {
+	var sb strings.Builder
+	// K(4,4): each edge supports 9 butterflies → 10-wing is empty.
+	if err := run([]string{"-file", writeTestGraph(t), "-mode", "wing", "-k", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "|E|=0") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestRunTipNumbers(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-file", writeTestGraph(t), "-mode", "tip-numbers"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// All vertices of K(4,4) share the same tip number: 3·C(4,2) = 18.
+	if !strings.Contains(sb.String(), "18: 4") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestRunWingNumbers(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-file", writeTestGraph(t), "-mode", "wing-numbers"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "9: 16") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-dataset", "arxiv-cond-mat", "-scale", "100", "-mode", "tip", "-k", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1-tip") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestHistogramTailSummary(t *testing.T) {
+	vals := make([]int64, 40)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	var sb strings.Builder
+	histogram(&sb, vals)
+	if !strings.Contains(sb.String(), "more distinct values up to 39") {
+		t.Fatalf("no tail summary: %q", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	cases := map[string][]string{
+		"noInput":     {},
+		"bothInputs":  {"-file", "x", "-dataset", "y"},
+		"badSide":     {"-file", path, "-side", "v3"},
+		"badMode":     {"-file", path, "-mode", "shred"},
+		"missingFile": {"-file", "/no/such/file"},
+		"badFlag":     {"-bogus"},
+		"badOutPath":  {"-file", path, "-mode", "tip", "-k", "0", "-out", "/no/dir/f"},
+	}
+	for name, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestRunMatrixMarketInput(t *testing.T) {
+	g, err := butterfly.GenerateComplete(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := g.WriteMatrixMarketFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-mm", path, "-mode", "wing", "-k", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "|E|=9") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestRunDensest(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "dense")
+	var sb strings.Builder
+	err := run([]string{"-file", writeTestGraph(t), "-mode", "densest", "-out", outPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "densest-by-butterflies") {
+		t.Fatalf("output: %q", sb.String())
+	}
+	g, err := butterfly.ReadKONECTFile(outPath)
+	if err != nil || g.NumEdges() != 16 {
+		t.Fatalf("densest output file wrong: %v", err)
+	}
+}
+
+func TestRunParallelVariants(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, args := range [][]string{
+		{"-file", path, "-mode", "tip", "-k", "1", "-threads", "3"},
+		{"-file", path, "-mode", "wing", "-k", "1", "-threads", "3"},
+		{"-file", path, "-mode", "tip-numbers", "-threads", "3"},
+		{"-file", path, "-mode", "wing-numbers", "-threads", "3"},
+	} {
+		var sb strings.Builder
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%v: empty output", args)
+		}
+	}
+	// Parallel and sequential tip agree on the reported subgraph.
+	var seq, par strings.Builder
+	if err := run([]string{"-file", path, "-mode", "tip", "-k", "1"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path, "-mode", "tip", "-k", "1", "-threads", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	extract := func(s string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "1-tip") {
+				return line[:strings.LastIndex(line, "(")]
+			}
+		}
+		return ""
+	}
+	if extract(seq.String()) != extract(par.String()) || extract(seq.String()) == "" {
+		t.Fatalf("tip outputs differ:\n%q\n%q", seq.String(), par.String())
+	}
+}

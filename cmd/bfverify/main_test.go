@@ -1,0 +1,100 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly"
+)
+
+func TestRunSelfTestOnly(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-selftest-only", "-trials", "10"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "FLAME worksheet battery") {
+		t.Fatalf("output: %q", sb.String())
+	}
+	if strings.Contains(sb.String(), "ALL CHECKS PASSED") {
+		t.Fatal("self-test-only should not run graph checks")
+	}
+}
+
+func TestRunFullOnFile(t *testing.T) {
+	g, err := butterfly.GeneratePowerLaw(60, 50, 300, 0.7, 0.7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.test")
+	if err := g.WriteKONECTFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-file", path, "-trials", "5", "-k", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"counters:", "identities:", "peeling:", "ALL CHECKS PASSED"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in: %q", want, out)
+		}
+	}
+}
+
+func TestRunDataset(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dataset", "arxiv-cond-mat", "-scale", "150", "-trials", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ALL CHECKS PASSED") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string][]string{
+		"noInput":     {"-trials", "1"},
+		"bothInputs":  {"-trials", "1", "-file", "x", "-dataset", "y"},
+		"missingFile": {"-trials", "1", "-file", "/no/such"},
+		"badFlag":     {"-bogus"},
+		"badDataset":  {"-trials", "1", "-dataset", "nope"},
+	}
+	for name, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestRunMatrixMarketInput(t *testing.T) {
+	g, err := butterfly.GeneratePowerLaw(30, 30, 120, 0.7, 0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := g.WriteMatrixMarketFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-mm", path, "-trials", "3", "-k", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ALL CHECKS PASSED") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestRunWorksheet(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-worksheet", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Inv2") || !strings.Contains(sb.String(), "look-ahead") {
+		t.Fatalf("worksheet output: %q", sb.String())
+	}
+	if err := run([]string{"-worksheet", "9"}, &sb); err == nil {
+		t.Fatal("bad worksheet index accepted")
+	}
+}

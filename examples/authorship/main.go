@@ -1,0 +1,104 @@
+// Authorship: analyze an author–paper network (the arXiv cond-mat
+// stand-in from the paper's Fig 9) with per-vertex butterfly counts
+// and k-tip peeling.
+//
+// An author's butterfly count measures how often they share *pairs* of
+// papers with the same co-author — repeated collaboration rather than
+// one-off contact. The k-tip subgraph keeps only authors embedded in
+// at least k such patterns: the stable collaboration core.
+//
+// Run with: go run ./examples/authorship
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"butterfly"
+)
+
+func main() {
+	// |V1| = 16726 authors, |V2| = 22015 papers, |E| = 58595, exactly
+	// as the paper's Fig 9 (synthetic stand-in; pass a real KONECT file
+	// to ReadKONECTFile to analyze the original).
+	g, err := butterfly.GeneratePaperDataset("arxiv-cond-mat", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("author–paper graph:", g)
+
+	total := g.CountParallel(0)
+	fmt.Printf("butterflies (repeated-collaboration motifs): %d\n", total)
+	fmt.Printf("clustering coefficient: %.4f\n\n", g.ClusteringCoefficient())
+
+	// Rank authors by butterfly participation.
+	perAuthor, err := g.VertexButterflies(butterfly.V1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type ranked struct {
+		author int
+		count  int64
+	}
+	top := make([]ranked, 0, len(perAuthor))
+	for a, c := range perAuthor {
+		if c > 0 {
+			top = append(top, ranked{a, c})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].count > top[j].count })
+	fmt.Printf("authors in ≥1 butterfly: %d of %d\n", len(top), g.NumV1())
+	fmt.Println("top collaborators:")
+	for i := 0; i < 5 && i < len(top); i++ {
+		fmt.Printf("  author %-6d in %d butterflies (degree %d)\n",
+			top[i].author, top[i].count, g.DegreeV1(top[i].author))
+	}
+
+	// Peel to the collaboration core.
+	fmt.Println("\nk-tip peeling (author side):")
+	fmt.Println("  k      authors-left  edges-left")
+	for _, k := range []int64{1, 2, 5, 10, 50} {
+		tip, err := g.KTip(k, butterfly.V1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		authors := 0
+		for u := 0; u < tip.NumV1(); u++ {
+			if tip.DegreeV1(u) > 0 {
+				authors++
+			}
+		}
+		fmt.Printf("  %-5d %13d  %10d\n", k, authors, tip.NumEdges())
+		if tip.NumEdges() == 0 {
+			break
+		}
+	}
+
+	// Tip numbers give the whole hierarchy in one pass.
+	tips, err := g.TipNumbers(butterfly.V1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxTip := int64(0)
+	for _, t := range tips {
+		if t > maxTip {
+			maxTip = t
+		}
+	}
+	fmt.Printf("\ndeepest tip number: %d (the innermost collaboration shell)\n", maxTip)
+
+	// Is the butterfly count explained by degrees alone? Compare with
+	// the degree-preserving null model (Maslov–Sneppen rewiring).
+	sig, err := g.ButterflySignificance(butterfly.SignificanceOptions{Samples: 8, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("null-model check: observed %d vs null %.0f ± %.0f (z = %.1f)\n",
+		sig.Observed, sig.NullMean, sig.NullStd, sig.ZScore)
+	if sig.ZScore > 2 {
+		fmt.Println("collaboration structure is significantly butterfly-rich beyond degrees")
+	} else {
+		fmt.Println("butterfly count is consistent with the degree sequence alone")
+	}
+}

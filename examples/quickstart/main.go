@@ -1,0 +1,55 @@
+// Quickstart: build a small labeled bipartite graph, count its
+// butterflies with the automatically selected family member, inspect
+// per-vertex participation, and enumerate the motifs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"butterfly"
+)
+
+func main() {
+	// A people × interests graph, built straight from labels.
+	g, err := butterfly.NewLabeledBuilder().
+		AddEdge("alice", "go").AddEdge("alice", "graphs").AddEdge("alice", "hpc").
+		AddEdge("bob", "go").AddEdge("bob", "graphs").
+		AddEdge("carol", "graphs").AddEdge("carol", "hpc").AddEdge("carol", "chess").
+		AddEdge("dave", "chess").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(g.Graph)
+	fmt.Printf("butterflies: %d\n", g.Count())
+	fmt.Printf("clustering coefficient: %.3f\n\n", g.ClusteringCoefficient())
+
+	// Who sits in the most butterflies? (A butterfly = two people
+	// sharing two interests — the smallest unit of "community".)
+	perPerson, err := g.VertexButterflies(butterfly.V1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id, count := range perPerson {
+		name, err := g.LabelV1(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s participates in %d butterflies\n", name, count)
+	}
+	fmt.Println()
+
+	// Enumerate them explicitly, translating ids back to labels.
+	g.Butterflies(func(b butterfly.Butterfly) bool {
+		p1, _ := g.LabelV1(b.U1)
+		p2, _ := g.LabelV1(b.U2)
+		i1, _ := g.LabelV2(b.W1)
+		i2, _ := g.LabelV2(b.W2)
+		fmt.Printf("butterfly: {%s, %s} × {%s, %s}\n", p1, p2, i1, i2)
+		return true
+	})
+}

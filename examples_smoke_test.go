@@ -1,0 +1,63 @@
+package butterfly
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every example binary end to end —
+// the guard against example rot. Skipped in -short mode (it invokes
+// the Go toolchain per example).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("only %d examples found", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctxArgs := []string{"run", "./" + filepath.Join("examples", name)}
+			cmd := exec.Command("go", ctxArgs...)
+			cmd.Env = os.Environ()
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, runErr, out)
+			}
+			if len(strings.TrimSpace(string(out))) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+			lower := strings.ToLower(string(out))
+			for _, bad := range []string{"panic:", "mismatch", "fatal"} {
+				if strings.Contains(lower, bad) {
+					t.Fatalf("example %s output contains %q:\n%s", name, bad, out)
+				}
+			}
+		})
+	}
+}

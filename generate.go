@@ -1,0 +1,108 @@
+package butterfly
+
+import (
+	"fmt"
+
+	"butterfly/internal/gen"
+)
+
+// GenerateErdosRenyi samples each possible edge independently with
+// probability p; deterministic given seed.
+func GenerateErdosRenyi(m, n int, p float64, seed int64) (*Graph, error) {
+	if m < 0 || n < 0 {
+		return nil, fmt.Errorf("butterfly: negative vertex-set size %d/%d", m, n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("butterfly: probability %g out of [0,1]", p)
+	}
+	return &Graph{g: gen.ErdosRenyi(m, n, p, seed)}, nil
+}
+
+// GenerateGnm samples exactly e distinct edges uniformly at random.
+func GenerateGnm(m, n int, e int64, seed int64) (*Graph, error) {
+	if m < 0 || n < 0 {
+		return nil, fmt.Errorf("butterfly: negative vertex-set size %d/%d", m, n)
+	}
+	if e < 0 || e > int64(m)*int64(n) {
+		return nil, fmt.Errorf("butterfly: edge count %d out of [0,%d]", e, int64(m)*int64(n))
+	}
+	return &Graph{g: gen.Gnm(m, n, e, seed)}, nil
+}
+
+// GeneratePowerLaw samples ~e distinct edges from a bipartite Chung–Lu
+// model with power-law degree weights of exponents alpha1 (V1 side)
+// and alpha2 (V2 side) — the heavy-tailed profile of real-world
+// bipartite networks.
+func GeneratePowerLaw(m, n int, e int64, alpha1, alpha2 float64, seed int64) (*Graph, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("butterfly: vertex-set sizes must be positive, got %d/%d", m, n)
+	}
+	if e < 0 {
+		return nil, fmt.Errorf("butterfly: negative edge count %d", e)
+	}
+	return &Graph{g: gen.PowerLawBipartite(m, n, e, alpha1, alpha2, seed)}, nil
+}
+
+// GeneratePreferentialAttachment grows a graph edge by edge with
+// degree-proportional ("rich get richer") endpoint selection — skew
+// emerges from the process instead of being imposed. Duplicate draws
+// merge, so the realized edge count can fall slightly below e.
+func GeneratePreferentialAttachment(m, n int, e int64, seed int64) (*Graph, error) {
+	if m <= 0 || n <= 0 {
+		return nil, fmt.Errorf("butterfly: vertex-set sizes must be positive, got %d/%d", m, n)
+	}
+	if e < 0 {
+		return nil, fmt.Errorf("butterfly: negative edge count %d", e)
+	}
+	return &Graph{g: gen.PreferentialAttachment(m, n, e, seed)}, nil
+}
+
+// GenerateComplete returns the complete bipartite graph K(a, b), which
+// has C(a,2)·C(b,2) butterflies.
+func GenerateComplete(a, b int) (*Graph, error) {
+	if a < 0 || b < 0 {
+		return nil, fmt.Errorf("butterfly: negative vertex-set size %d/%d", a, b)
+	}
+	return &Graph{g: gen.CompleteBipartite(a, b)}, nil
+}
+
+// GenerateSBM samples a bipartite stochastic block model: communities
+// of the given sizes on each side, intra-community (same block index)
+// edges with probability pIn and all other edges with pOut. The
+// planted-partition workload: butterflies concentrate inside paired
+// blocks. Sampling is Θ(|V1|·|V2|); intended for laptop-scale planted
+// structure, not web-scale graphs.
+func GenerateSBM(blocks1, blocks2 []int, pIn, pOut float64, seed int64) (*Graph, error) {
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, fmt.Errorf("butterfly: probabilities (%g, %g) out of [0,1]", pIn, pOut)
+	}
+	for _, s := range append(append([]int(nil), blocks1...), blocks2...) {
+		if s < 0 {
+			return nil, fmt.Errorf("butterfly: negative block size %d", s)
+		}
+	}
+	return &Graph{g: gen.SBM(blocks1, blocks2, pIn, pOut, seed)}, nil
+}
+
+// PaperDatasets lists the names of the five KONECT dataset stand-ins
+// from the paper's evaluation (Fig 9), accepted by
+// GeneratePaperDataset.
+func PaperDatasets() []string { return gen.PaperDatasetNames() }
+
+// GeneratePaperDataset generates the named synthetic stand-in with the
+// exact |V1|, |V2| and |E| of the paper's Fig 9 (see DESIGN.md for the
+// substitution rationale). scale ≥ 2 shrinks all three by that factor.
+func GeneratePaperDataset(name string, scale int) (*Graph, error) {
+	if scale <= 1 {
+		g, err := gen.PaperDataset(name)
+		if err != nil {
+			return nil, err
+		}
+		return &Graph{g: g}, nil
+	}
+	g, err := gen.ScaledPaperDataset(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}

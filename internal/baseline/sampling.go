@@ -1,0 +1,175 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"butterfly/internal/core"
+	"butterfly/internal/graph"
+)
+
+// EstimateVertexSampling approximates ΞG with the vertex-sampling
+// estimator of Sanei-Mehri et al. [10]: draw `samples` vertices
+// uniformly from V1 (with replacement), compute each one's exact
+// butterfly participation b_u, and scale:
+//
+//	ΞG ≈ |V1| · mean(b_u) / 2
+//
+// (each butterfly touches exactly two V1 vertices). The estimator is
+// unbiased; variance shrinks as 1/samples.
+func EstimateVertexSampling(g *graph.Bipartite, samples int, seed int64) float64 {
+	if samples <= 0 {
+		panic("baseline: samples must be positive")
+	}
+	m := g.NumV1()
+	if m == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj, adjT := g.Adj(), g.AdjT()
+	acc := make([]int32, m)
+	touched := make([]int32, 0, 1024)
+
+	var sum float64
+	for s := 0; s < samples; s++ {
+		u := rng.Intn(m)
+		u32 := int32(u)
+		var bu int64
+		for _, v := range adj.Row(u) {
+			for _, w := range adjT.Row(int(v)) {
+				if w == u32 {
+					continue
+				}
+				if acc[w] == 0 {
+					touched = append(touched, w)
+				}
+				acc[w]++
+			}
+		}
+		for _, w := range touched {
+			c := int64(acc[w])
+			bu += c * (c - 1) / 2
+			acc[w] = 0
+		}
+		touched = touched[:0]
+		sum += float64(bu)
+	}
+	return float64(m) * (sum / float64(samples)) / 2
+}
+
+// EstimateEdgeSampling approximates ΞG by sampling `samples` edges
+// uniformly (with replacement), computing each edge's exact butterfly
+// support, and scaling:
+//
+//	ΞG ≈ |E| · mean(support) / 4
+//
+// (each butterfly has four edges). Unbiased, usually lower-variance
+// than vertex sampling on skewed graphs because supports are more
+// homogeneous than vertex counts.
+func EstimateEdgeSampling(g *graph.Bipartite, samples int, seed int64) float64 {
+	if samples <= 0 {
+		panic("baseline: samples must be positive")
+	}
+	e := g.NumEdges()
+	if e == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	adj, adjT := g.Adj(), g.AdjT()
+	acc := make([]int32, g.NumV1())
+	touched := make([]int32, 0, 1024)
+
+	var sum float64
+	for s := 0; s < samples; s++ {
+		k := rng.Int63n(e) // edge id = position in the CSR value array
+		u := edgeRow(adj.Ptr, k)
+		v := adj.Col[k]
+		u32 := int32(u)
+		// β_uw for all partners w of u.
+		for _, vv := range adj.Row(u) {
+			for _, w := range adjT.Row(int(vv)) {
+				if w == u32 {
+					continue
+				}
+				if acc[w] == 0 {
+					touched = append(touched, w)
+				}
+				acc[w]++
+			}
+		}
+		// support(u,v) = Σ_{w∈N(v), w≠u} (β_uw − 1).
+		var sup int64
+		for _, w := range adjT.Row(int(v)) {
+			if w == u32 {
+				continue
+			}
+			sup += int64(acc[w]) - 1
+		}
+		for _, w := range touched {
+			acc[w] = 0
+		}
+		touched = touched[:0]
+		sum += float64(sup)
+	}
+	return float64(e) * (sum / float64(samples)) / 4
+}
+
+// edgeRow locates the row containing flat edge index k by binary search
+// over the CSR row pointer.
+func edgeRow(ptr []int64, k int64) int {
+	lo, hi := 0, len(ptr)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if ptr[mid] <= k {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// RelativeError is a convenience for reporting estimator quality:
+// |est − exact| / exact, or the absolute estimate when exact is 0.
+func RelativeError(est float64, exact int64) float64 {
+	if exact == 0 {
+		if est < 0 {
+			return -est
+		}
+		return est
+	}
+	d := est - float64(exact)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(exact)
+}
+
+// VerifyAll cross-checks every counter in this package plus the core
+// family on g and returns an error naming the first disagreement. Used
+// by tests and the CLI's --verify flag.
+func VerifyAll(g *graph.Bipartite) error {
+	want := core.CountAuto(g)
+	checks := []struct {
+		name string
+		got  int64
+	}{
+		{"wedge-hash", CountWedgeHash(g)},
+		{"vertex-priority", CountVertexPriority(g)},
+		{"enumerate", CountEnumerate(g)},
+		{"spgemm", core.CountSpGEMM(g)},
+		{"sort-aggregate", CountSortAggregate(g, 1)},
+		{"sort-aggregate-par", CountSortAggregate(g, 4)},
+	}
+	for _, c := range checks {
+		if c.got != want {
+			return fmt.Errorf("baseline: %s counted %d, core counted %d", c.name, c.got, want)
+		}
+	}
+	for _, inv := range core.Invariants() {
+		if got := core.Count(g, inv); got != want {
+			return fmt.Errorf("baseline: %v counted %d, auto counted %d", inv, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/core"
+	"butterfly/internal/dense"
+	"butterfly/internal/gen"
+)
+
+func TestQuickSortAggregateMatchesSpec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, g := randGraphAndDense(rng, 12)
+		want := dense.SpecCount(d)
+		return CountSortAggregate(g, 1) == want && CountSortAggregate(g, 4) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortAggregateClosedForms(t *testing.T) {
+	for _, threads := range []int{1, 2, 8} {
+		if got := CountSortAggregate(gen.CompleteBipartite(4, 4), threads); got != 36 {
+			t.Errorf("K(4,4) threads=%d: %d, want 36", threads, got)
+		}
+		if got := CountSortAggregate(gen.Star(5), threads); got != 0 {
+			t.Errorf("star threads=%d: %d, want 0", threads, got)
+		}
+	}
+	empty := gen.CompleteBipartite(0, 0)
+	if CountSortAggregate(empty, 4) != 0 {
+		t.Error("empty graph not 0")
+	}
+}
+
+func TestSumRuns(t *testing.T) {
+	cases := []struct {
+		in   []int64
+		want int64
+	}{
+		{[]int64{1}, 0},
+		{[]int64{1, 1}, 1},
+		{[]int64{1, 1, 1}, 3},
+		{[]int64{1, 2, 2, 3, 3, 3}, 1 + 3},
+		{[]int64{5, 6, 7}, 0},
+	}
+	for _, c := range cases {
+		if got := sumRuns(c.in); got != c.want {
+			t.Errorf("sumRuns(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEstimateSparsifyExactAtP1(t *testing.T) {
+	g := gen.PowerLawBipartite(100, 80, 600, 0.7, 0.7, 3)
+	want := float64(core.CountAuto(g))
+	if got := EstimateSparsify(g, 1, 1); got != want {
+		t.Fatalf("p=1: %f, want %f", got, want)
+	}
+}
+
+func TestEstimateSparsifyConverges(t *testing.T) {
+	g := gen.PowerLawBipartite(400, 300, 4000, 0.7, 0.7, 4)
+	exact := float64(core.CountAuto(g))
+	if exact == 0 {
+		t.Skip("degenerate workload")
+	}
+	// Average several independent sparsifications; the mean should
+	// land near the exact count.
+	const trials = 30
+	var sum float64
+	for s := int64(0); s < trials; s++ {
+		sum += EstimateSparsify(g, 0.6, 100+s)
+	}
+	mean := sum / trials
+	if math.Abs(mean-exact)/exact > 0.2 {
+		t.Fatalf("sparsify mean %f vs exact %f (%.1f%% off)", mean, exact, 100*math.Abs(mean-exact)/exact)
+	}
+}
+
+func TestEstimateSparsifyDeterministic(t *testing.T) {
+	g := gen.PowerLawBipartite(100, 100, 500, 0.7, 0.7, 5)
+	if EstimateSparsify(g, 0.5, 42) != EstimateSparsify(g, 0.5, 42) {
+		t.Fatal("same seed gave different estimates")
+	}
+}
+
+func TestEstimateSparsifyPanics(t *testing.T) {
+	g := gen.Star(2)
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%f: no panic", p)
+				}
+			}()
+			EstimateSparsify(g, p, 1)
+		}()
+	}
+}
+
+func TestSplitMixUniform(t *testing.T) {
+	r := newSplitMix(7)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("sample %f out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean %f far from 0.5", mean)
+	}
+}

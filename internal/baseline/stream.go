@@ -1,0 +1,81 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"butterfly/internal/core"
+	"butterfly/internal/graph"
+)
+
+// StreamEstimator approximates the butterfly count of an edge stream
+// with a fixed-size uniform reservoir (the FLEET family of estimators,
+// Sanei-Mehri et al.): edges arrive one at a time, reservoir sampling
+// keeps a uniform subset, and at any point the butterfly count of the
+// reservoir subgraph is scaled by the inverse probability that all
+// four edges of a butterfly survived together,
+//
+//	p₄ = Π_{i=0..3} (R − i) / (N − i)
+//
+// for reservoir size R and N edges seen. The estimate is unbiased for
+// duplicate-free streams; with R ≥ N it is exact. Memory is O(R)
+// regardless of stream length — the property that matters when the
+// stream cannot be stored.
+type StreamEstimator struct {
+	m, n int
+	cap  int
+	seen int64
+	res  []graph.Edge
+	rng  *rand.Rand
+}
+
+// NewStreamEstimator returns an estimator over vertex sets of size m
+// and n with the given reservoir capacity.
+func NewStreamEstimator(m, n, reservoir int, seed int64) *StreamEstimator {
+	if m < 0 || n < 0 {
+		panic(fmt.Sprintf("baseline: negative vertex-set size %d/%d", m, n))
+	}
+	if reservoir < 4 {
+		panic(fmt.Sprintf("baseline: reservoir %d < 4 cannot hold a butterfly", reservoir))
+	}
+	return &StreamEstimator{
+		m: m, n: n, cap: reservoir,
+		res: make([]graph.Edge, 0, reservoir),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add feeds the next stream edge. Out-of-range endpoints panic.
+func (s *StreamEstimator) Add(u, v int) {
+	if u < 0 || u >= s.m || v < 0 || v >= s.n {
+		panic(fmt.Sprintf("baseline: stream edge (%d,%d) out of range %dx%d", u, v, s.m, s.n))
+	}
+	s.seen++
+	e := graph.Edge{U: int32(u), V: int32(v)}
+	if len(s.res) < s.cap {
+		s.res = append(s.res, e)
+		return
+	}
+	// Classic reservoir replacement: keep with probability cap/seen.
+	if j := s.rng.Int63n(s.seen); j < int64(s.cap) {
+		s.res[j] = e
+	}
+}
+
+// Seen returns the number of stream edges consumed.
+func (s *StreamEstimator) Seen() int64 { return s.seen }
+
+// Estimate returns the current butterfly estimate for the whole
+// stream.
+func (s *StreamEstimator) Estimate() float64 {
+	sample := graph.FromEdges(s.m, s.n, s.res)
+	count := float64(core.CountAuto(sample))
+	if s.seen <= int64(s.cap) {
+		return count
+	}
+	p4 := 1.0
+	for i := int64(0); i < 4; i++ {
+		p4 *= float64(int64(s.cap)-i) / float64(s.seen-i)
+	}
+	return count / p4
+}

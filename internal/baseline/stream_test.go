@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/gen"
+)
+
+func TestStreamExactWhenReservoirFits(t *testing.T) {
+	g := gen.PowerLawBipartite(100, 80, 500, 0.7, 0.7, 3)
+	s := NewStreamEstimator(100, 80, 1000, 1)
+	for _, e := range g.Edges() {
+		s.Add(int(e.U), int(e.V))
+	}
+	if s.Seen() != g.NumEdges() {
+		t.Fatalf("Seen = %d", s.Seen())
+	}
+	exact := float64(core.CountAuto(g))
+	if got := s.Estimate(); got != exact {
+		t.Fatalf("estimate %f, want exact %f", got, exact)
+	}
+}
+
+func TestStreamUnbiasedOnAverage(t *testing.T) {
+	g := gen.PowerLawBipartite(200, 150, 2000, 0.7, 0.7, 4)
+	exact := float64(core.CountAuto(g))
+	if exact == 0 {
+		t.Skip("degenerate workload")
+	}
+	edges := g.Edges()
+	const trials = 40
+	var sum float64
+	for seed := int64(0); seed < trials; seed++ {
+		s := NewStreamEstimator(200, 150, 800, seed)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for _, i := range rng.Perm(len(edges)) {
+			s.Add(int(edges[i].U), int(edges[i].V))
+		}
+		sum += s.Estimate()
+	}
+	mean := sum / trials
+	if math.Abs(mean-exact)/exact > 0.3 {
+		t.Fatalf("stream estimator mean %.0f vs exact %.0f (%.0f%% off)",
+			mean, exact, 100*math.Abs(mean-exact)/exact)
+	}
+}
+
+func TestStreamOrderInsensitiveExactRegime(t *testing.T) {
+	g := gen.CompleteBipartite(5, 5)
+	edges := g.Edges()
+	forward := NewStreamEstimator(5, 5, 100, 1)
+	backward := NewStreamEstimator(5, 5, 100, 2)
+	for i := range edges {
+		forward.Add(int(edges[i].U), int(edges[i].V))
+		j := len(edges) - 1 - i
+		backward.Add(int(edges[j].U), int(edges[j].V))
+	}
+	if forward.Estimate() != backward.Estimate() {
+		t.Fatal("exact regime depends on order")
+	}
+}
+
+func TestStreamPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negativeSide":   func() { NewStreamEstimator(-1, 2, 10, 1) },
+		"tinyReservoir":  func() { NewStreamEstimator(2, 2, 3, 1) },
+		"edgeOutOfRange": func() { NewStreamEstimator(2, 2, 4, 1).Add(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	s := NewStreamEstimator(5, 5, 10, 1)
+	if s.Estimate() != 0 {
+		t.Fatal("empty stream estimate not 0")
+	}
+}

@@ -1,0 +1,108 @@
+package bench
+
+// Deterministic "shape" assertions for the paper's Section V findings.
+// Wall-clock comparisons are flaky in CI, but the findings are driven
+// by work counts that are exact and machine-independent:
+//
+//   - family 1–4 performs Σ_{u∈V1} C(deg u, 2) wedge steps,
+//   - family 5–8 performs Σ_{v∈V2} C(deg v, 2),
+//
+// so "who wins" is a comparison of two integers. These tests pin the
+// reproduction of Fig 10's winners and claim C1's crossover.
+
+import (
+	"testing"
+
+	"butterfly/internal/core"
+	"butterfly/internal/gen"
+)
+
+func familyWork(t *testing.T, name string, scale int) (work14, work58 int64) {
+	t.Helper()
+	g, err := LoadDataset(name, "", scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := core.WedgeCount(g)
+	return w2, w1 // family 1–4 enumerates V2-endpoint... see core docs
+}
+
+// TestFig10WinnersShape asserts the per-dataset winning family of
+// Fig 10 via exact work counts, at a scale where degree structure is
+// preserved.
+func TestFig10WinnersShape(t *testing.T) {
+	const scale = 10
+	cases := []struct {
+		dataset     string
+		family14Win bool // paper Fig 10's winner
+	}{
+		{"record-labels", true}, // |V2| ≪ |V1|
+		{"occupations", true},
+		{"producers", false}, // |V1| ≪ |V2|
+		{"github", false},
+	}
+	for _, c := range cases {
+		w14, w58 := familyWork(t, c.dataset, scale)
+		if (w14 < w58) != c.family14Win {
+			t.Errorf("%s: work14=%d work58=%d, paper winner family14=%v",
+				c.dataset, w14, w58, c.family14Win)
+		}
+	}
+}
+
+// TestClaimC1CrossoverShape asserts that the winning family flips
+// exactly when the smaller vertex side flips, on controlled sweeps.
+func TestClaimC1CrossoverShape(t *testing.T) {
+	const budget, edges = 20000, 60000
+	for _, ratio := range []float64{0.15, 0.3, 0.7, 0.85} {
+		m := int(float64(budget) * ratio)
+		n := budget - m
+		g := gen.PowerLawBipartite(m, n, edges, 0.7, 0.7, 77)
+		w1, w2 := core.WedgeCount(g)
+		work14, work58 := w2, w1
+		wantFamily14 := n < m // partition the smaller side = V2 side smaller
+		if (work14 < work58) != wantFamily14 {
+			t.Errorf("ratio %.2f (V1=%d V2=%d): work14=%d work58=%d, want family14 win=%v",
+				ratio, m, n, work14, work58, wantFamily14)
+		}
+	}
+}
+
+// TestClaimC2SparsityShape: at fixed vertex sets, wedge work grows
+// superlinearly with edges (the mechanism behind "sparser is faster").
+func TestClaimC2SparsityShape(t *testing.T) {
+	const m, n = 5000, 10000
+	prevWork := int64(-1)
+	prevEdges := int64(-1)
+	for i, e := range []int64{10000, 20000, 40000} {
+		g := gen.PowerLawBipartite(m, n, e, 0.7, 0.7, 78+int64(i))
+		w1, w2 := core.WedgeCount(g)
+		work := w1 + w2
+		if prevWork > 0 {
+			// Doubling edges should more than double wedge work
+			// (superlinear growth: work ratio exceeds edge ratio).
+			if float64(work)/float64(prevWork) <= float64(e)/float64(prevEdges) {
+				t.Errorf("edges %d→%d: work %d→%d is not superlinear",
+					prevEdges, e, prevWork, work)
+			}
+		}
+		prevWork, prevEdges = work, e
+	}
+}
+
+// TestFig11ExactnessShape: the parallel algorithm is exact on every
+// dataset stand-in (the machine-independent part of Fig 11).
+func TestFig11ExactnessShape(t *testing.T) {
+	for _, name := range gen.PaperDatasetNames() {
+		g, err := LoadDataset(name, "", 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := core.CountAuto(g)
+		for _, inv := range []core.Invariant{core.Inv2, core.Inv7} {
+			if got := core.CountWith(g, core.Options{Invariant: inv, Threads: 6}); got != want {
+				t.Errorf("%s %v parallel: %d, want %d", name, inv, got, want)
+			}
+		}
+	}
+}

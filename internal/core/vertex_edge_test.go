@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/dense"
+	"butterfly/internal/gen"
+	"butterfly/internal/graph"
+	"butterfly/internal/sparse"
+)
+
+func TestQuickVertexButterfliesMatchSpec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, g := randGraphAndDense(rng, 12)
+		wantV1 := dense.SpecVertexButterflies(d)
+		gotV1 := VertexButterflies(g, SideV1)
+		for i := range wantV1 {
+			if gotV1[i] != wantV1[i] {
+				return false
+			}
+		}
+		wantV2 := dense.SpecVertexButterfliesV2(d)
+		gotV2 := VertexButterflies(g, SideV2)
+		for i := range wantV2 {
+			if gotV2[i] != wantV2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexButterfliesSumIsTwiceCount(t *testing.T) {
+	g := gen.PowerLawBipartite(200, 150, 1500, 0.7, 0.7, 3)
+	want := 2 * CountAuto(g)
+	for _, side := range []Side{SideV1, SideV2} {
+		var sum int64
+		for _, v := range VertexButterflies(g, side) {
+			sum += v
+		}
+		if sum != want {
+			t.Errorf("side %v: Σs = %d, want %d", side, sum, want)
+		}
+	}
+}
+
+func TestQuickVertexButterfliesParallelMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 15)
+		for _, side := range []Side{SideV1, SideV2} {
+			want := VertexButterflies(g, side)
+			got := VertexButterfliesParallel(g, side, 4)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexButterfliesParallelSingleThreadDelegates(t *testing.T) {
+	g := gen.CompleteBipartite(4, 4)
+	want := VertexButterflies(g, SideV1)
+	got := VertexButterfliesParallel(g, SideV1, 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("threads=1 differs from sequential")
+		}
+	}
+}
+
+// Masked per-vertex counts equal the spec on the induced subgraph where
+// inactive exposed-side vertices lose their edges.
+func TestQuickVertexButterfliesMaskedMatchesInduced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, g := randGraphAndDense(rng, 10)
+		active := make([]bool, g.NumV1())
+		masked := d.Clone()
+		for i := range active {
+			active[i] = rng.Intn(3) > 0
+			if !active[i] {
+				for j := 0; j < masked.Cols; j++ {
+					masked.Set(i, j, 0)
+				}
+			}
+		}
+		want := dense.SpecVertexButterflies(masked)
+		got := VertexButterfliesMasked(g, SideV1, active)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexButterfliesMaskedLengthPanics(t *testing.T) {
+	g := gen.CompleteBipartite(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad mask length did not panic")
+		}
+	}()
+	VertexButterfliesMasked(g, SideV1, make([]bool, 2))
+}
+
+func TestSideString(t *testing.T) {
+	if SideV1.String() != "V1" || SideV2.String() != "V2" {
+		t.Fatal("Side.String wrong")
+	}
+}
+
+func TestQuickEdgeSupportMatchesSpec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, g := randGraphAndDense(rng, 12)
+		want := dense.SpecEdgeSupport(d)
+		got := EdgeSupport(g)
+		return sparse.ToDense(got).Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgeSupportParallelMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 15)
+		want := EdgeSupport(g)
+		got := EdgeSupportParallel(g, 4)
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeSupportParallelSingleThreadDelegates(t *testing.T) {
+	g := gen.CompleteBipartite(3, 4)
+	if !EdgeSupportParallel(g, 1).Equal(EdgeSupport(g)) {
+		t.Fatal("threads=1 differs")
+	}
+}
+
+func TestCountFromEdgeSupport(t *testing.T) {
+	g := gen.BicliqueChain(3, 3, 3)
+	want := CountAuto(g)
+	if got := CountFromEdgeSupport(EdgeSupport(g)); got != want {
+		t.Fatalf("CountFromEdgeSupport = %d, want %d", got, want)
+	}
+}
+
+func TestCountFromEdgeSupportPanicsOnCorrupt(t *testing.T) {
+	s := &sparse.CSR{R: 1, C: 1, Ptr: []int64{0, 1}, Col: []int32{0}, Val: []int64{3}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupt support sum did not panic")
+		}
+	}()
+	CountFromEdgeSupport(s)
+}
+
+func TestEdgeSupportCompleteBipartite(t *testing.T) {
+	// In K(a,b) every edge supports C(a-1,1)·C(b-1,1) butterflies.
+	a, b := 4, 5
+	g := gen.CompleteBipartite(a, b)
+	want := int64((a - 1) * (b - 1))
+	s := EdgeSupport(g)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			if got := s.At(u, v); got != want {
+				t.Fatalf("support(%d,%d) = %d, want %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+// Orientation selection must be invisible: strongly asymmetric graphs
+// in both directions produce supports identical to the spec and to the
+// parallel (non-reoriented) path.
+func TestEdgeSupportOrientationInvisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dims := range [][2]int{{40, 5}, {5, 40}, {20, 20}} {
+		d := randDense(rng, dims[0], dims[1], 0.4)
+		g := graphOf(t, d)
+		got := EdgeSupport(g)
+		if !sparse.ToDense(got).Equal(dense.SpecEdgeSupport(d)) {
+			t.Fatalf("dims %v: support differs from spec", dims)
+		}
+		if !got.Equal(EdgeSupportParallel(g, 3)) {
+			t.Fatalf("dims %v: oriented differs from parallel", dims)
+		}
+		// Flat-order alignment with Adj (wing peeling depends on it).
+		adj := g.Adj()
+		if got.NNZ() != adj.NNZ() {
+			t.Fatalf("dims %v: nnz mismatch", dims)
+		}
+		for k := range got.Col {
+			if got.Col[k] != adj.Col[k] {
+				t.Fatalf("dims %v: pattern misaligned at %d", dims, k)
+			}
+		}
+	}
+}
+
+func TestQuickEdgeSupportSpGEMMMatchesSpec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, g := randGraphAndDense(rng, 12)
+		got := EdgeSupportSpGEMM(g)
+		if !sparse.ToDense(got).Equal(dense.SpecEdgeSupport(d)) {
+			return false
+		}
+		// Flat alignment with the sweep implementation.
+		return got.Equal(EdgeSupport(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeSupportSpGEMMMedium(t *testing.T) {
+	g := gen.PowerLawBipartite(400, 300, 2500, 0.7, 0.7, 13)
+	if !EdgeSupportSpGEMM(g).Equal(EdgeSupport(g)) {
+		t.Fatal("SpGEMM support differs from sweep support")
+	}
+}
+
+func TestVertexButterfliesMaskedParallelDirect(t *testing.T) {
+	g := gen.PowerLawBipartite(300, 250, 1800, 0.7, 0.7, 17)
+	active := make([]bool, g.NumV1())
+	for i := range active {
+		active[i] = i%3 != 0
+	}
+	want := VertexButterfliesMasked(g, SideV1, active)
+	got := VertexButterfliesMaskedParallel(g, SideV1, active, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+	// threads ≤ 1 delegates.
+	got = VertexButterfliesMaskedParallel(g, SideV1, active, 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("delegation differs")
+		}
+	}
+	// V2 side path.
+	activeV2 := make([]bool, g.NumV2())
+	for i := range activeV2 {
+		activeV2[i] = true
+	}
+	wantV2 := VertexButterflies(g, SideV2)
+	gotV2 := VertexButterfliesMaskedParallel(g, SideV2, activeV2, 3)
+	for i := range wantV2 {
+		if gotV2[i] != wantV2[i] {
+			t.Fatal("V2 masked parallel differs from unmasked")
+		}
+	}
+}
+
+func TestVertexButterfliesMaskedParallelPanics(t *testing.T) {
+	g := gen.CompleteBipartite(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	VertexButterfliesMaskedParallel(g, SideV1, make([]bool, 2), 4)
+}
+
+func TestCaterpillarsClosedForms(t *testing.T) {
+	// K(2,2): 4 caterpillars; star: 0; path of 3 edges: 1.
+	if got := Caterpillars(gen.CompleteBipartite(2, 2)); got != 4 {
+		t.Fatalf("K22 caterpillars = %d", got)
+	}
+	if got := Caterpillars(gen.Star(7)); got != 0 {
+		t.Fatalf("star caterpillars = %d", got)
+	}
+	b := graphBuilder3Path(t)
+	if got := Caterpillars(b); got != 1 {
+		t.Fatalf("P4 caterpillars = %d", got)
+	}
+}
+
+// graphBuilder3Path builds u0–v0–u1–v1 (3 edges).
+func graphBuilder3Path(t *testing.T) *graph.Bipartite {
+	t.Helper()
+	bl := graph.NewBuilder(2, 2)
+	bl.AddEdge(0, 0)
+	bl.AddEdge(1, 0)
+	bl.AddEdge(1, 1)
+	return bl.Build()
+}

@@ -1,0 +1,275 @@
+// Package dense implements small dense integer matrices and the exact
+// linear-algebraic specification equations from the paper.
+//
+// The package exists as the executable "ground truth" for every
+// loop-based algorithm in internal/core and internal/peel: equations (6),
+// (7), (9), (19) and (25) of the paper are transcribed literally here
+// (O(m²·n) and worse), and all production algorithms are tested for exact
+// equality against them on small graphs.
+//
+// Matrices hold int64 entries in row-major order. All arithmetic is
+// exact; the fractional coefficients of the paper's equations (¼, ½)
+// always divide evenly for valid adjacency matrices, and the spec
+// functions panic if they do not — that is a bug, not an input error.
+package dense
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense row-major int64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []int64 // len Rows*Cols
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("dense: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]int64, rows*cols)}
+}
+
+// NewFromRows builds a matrix from a slice of equal-length rows.
+func NewFromRows(rows [][]int64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("dense: ragged row %d: len %d, want %d", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Ones returns the rows×cols all-ones matrix J.
+func Ones(rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) int64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set stores v at entry (i, j).
+func (m *Matrix) Set(i, j int, v int64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("dense: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Equal reports whether m and o have identical shape and entries.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if o.Data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*t.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns m·o. Panics on shape mismatch.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("dense: Mul shape mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	p := New(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		pi := p.Data[i*o.Cols : (i+1)*o.Cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			ok := o.Data[k*o.Cols : (k+1)*o.Cols]
+			for j, okj := range ok {
+				pi[j] += mik * okj
+			}
+		}
+	}
+	return p
+}
+
+// MulTranspose returns m·mᵀ (the paper's B = A·Aᵀ).
+func (m *Matrix) MulTranspose() *Matrix { return m.Mul(m.Transpose()) }
+
+// Hadamard returns the element-wise product m∘o.
+func (m *Matrix) Hadamard(o *Matrix) *Matrix {
+	m.mustMatch(o, "Hadamard")
+	p := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		p.Data[i] = v * o.Data[i]
+	}
+	return p
+}
+
+// Add returns m+o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.mustMatch(o, "Add")
+	p := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		p.Data[i] = v + o.Data[i]
+	}
+	return p
+}
+
+// Sub returns m−o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.mustMatch(o, "Sub")
+	p := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		p.Data[i] = v - o.Data[i]
+	}
+	return p
+}
+
+// Scale returns c·m.
+func (m *Matrix) Scale(c int64) *Matrix {
+	p := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		p.Data[i] = c * v
+	}
+	return p
+}
+
+func (m *Matrix) mustMatch(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("dense: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Trace returns Γ(m) = Σᵢ m(i,i). Panics if m is not square.
+func (m *Matrix) Trace() int64 {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("dense: Trace of non-square %dx%d", m.Rows, m.Cols))
+	}
+	var t int64
+	for i := 0; i < m.Rows; i++ {
+		t += m.Data[i*m.Cols+i]
+	}
+	return t
+}
+
+// Diag returns the diagonal of a square matrix as a vector.
+func (m *Matrix) Diag() []int64 {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("dense: Diag of non-square %dx%d", m.Rows, m.Cols))
+	}
+	d := make([]int64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		d[i] = m.Data[i*m.Cols+i]
+	}
+	return d
+}
+
+// SumAll returns Σᵢⱼ m(i,j).
+func (m *Matrix) SumAll() int64 {
+	var s int64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// RowSums returns the vector of per-row sums.
+func (m *Matrix) RowSums() []int64 {
+	s := make([]int64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s[i] += m.Data[i*m.Cols+j]
+		}
+	}
+	return s
+}
+
+// ColSums returns the vector of per-column sums.
+func (m *Matrix) ColSums() []int64 {
+	s := make([]int64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s[j] += m.Data[i*m.Cols+j]
+		}
+	}
+	return s
+}
+
+// SubMatrix returns the block m[r0:r1, c0:c1).
+func (m *Matrix) SubMatrix(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("dense: SubMatrix [%d:%d,%d:%d) out of range %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	s := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.Data[(i-r0)*s.Cols:(i-r0+1)*s.Cols], m.Data[i*m.Cols+c0:i*m.Cols+c1])
+	}
+	return s
+}
+
+// IsBinary reports whether every entry is 0 or 1.
+func (m *Matrix) IsBinary() bool {
+	for _, v := range m.Data {
+		if v != 0 && v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d\n", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < 16; i++ {
+		for j := 0; j < m.Cols && j < 16; j++ {
+			fmt.Fprintf(&sb, "%4d", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,326 @@
+package dense
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randBinary(rng *rand.Rand, m, n int, density float64) *Matrix {
+	a := New(m, n)
+	for i := range a.Data {
+		if rng.Float64() < density {
+			a.Data[i] = 1
+		}
+	}
+	return a
+}
+
+func TestNewAndAtSet(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(2, 3, 7)
+	if m.At(2, 3) != 7 {
+		t.Fatalf("At(2,3) = %d, want 7", m.At(2, 3))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("fresh matrix not zeroed")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestNewFromRows(t *testing.T) {
+	m := NewFromRows([][]int64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("NewFromRows layout wrong")
+	}
+	if got := NewFromRows(nil); got.Rows != 0 || got.Cols != 0 {
+		t.Fatal("NewFromRows(nil) not empty")
+	}
+}
+
+func TestNewFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged NewFromRows did not panic")
+		}
+	}()
+	NewFromRows([][]int64{{1, 2}, {3}})
+}
+
+func TestOnesIdentity(t *testing.T) {
+	j := Ones(2, 3)
+	if j.SumAll() != 6 {
+		t.Fatalf("Ones sum = %d, want 6", j.SumAll())
+	}
+	i3 := Identity(3)
+	if i3.Trace() != 3 || i3.SumAll() != 3 {
+		t.Fatal("Identity wrong")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewFromRows([][]int64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewFromRows([][]int64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]int64{{5, 6}, {7, 8}})
+	p := a.Mul(b)
+	want := NewFromRows([][]int64{{19, 22}, {43, 50}})
+	if !p.Equal(want) {
+		t.Fatalf("Mul = %v, want %v", p, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randBinary(rng, 4, 4, 0.5)
+	if !a.Mul(Identity(4)).Equal(a) || !Identity(4).Mul(a).Equal(a) {
+		t.Fatal("multiplying by identity changed matrix")
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul shape mismatch did not panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestMulTransposeSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randBinary(rng, 5, 7, 0.4)
+	b := a.MulTranspose()
+	if b.Rows != 5 || b.Cols != 5 {
+		t.Fatalf("MulTranspose shape %dx%d", b.Rows, b.Cols)
+	}
+	if !b.Equal(b.Transpose()) {
+		t.Fatal("AAᵀ not symmetric")
+	}
+}
+
+func TestHadamardAddSubScale(t *testing.T) {
+	a := NewFromRows([][]int64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]int64{{2, 0}, {1, 2}})
+	if !a.Hadamard(b).Equal(NewFromRows([][]int64{{2, 0}, {3, 8}})) {
+		t.Fatal("Hadamard wrong")
+	}
+	if !a.Add(b).Equal(NewFromRows([][]int64{{3, 2}, {4, 6}})) {
+		t.Fatal("Add wrong")
+	}
+	if !a.Sub(b).Equal(NewFromRows([][]int64{{-1, 2}, {2, 2}})) {
+		t.Fatal("Sub wrong")
+	}
+	if !a.Scale(3).Equal(NewFromRows([][]int64{{3, 6}, {9, 12}})) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestTraceDiag(t *testing.T) {
+	m := NewFromRows([][]int64{{1, 9}, {9, 2}})
+	if m.Trace() != 3 {
+		t.Fatalf("Trace = %d", m.Trace())
+	}
+	d := m.Diag()
+	if len(d) != 2 || d[0] != 1 || d[1] != 2 {
+		t.Fatalf("Diag = %v", d)
+	}
+}
+
+func TestTraceNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Trace of non-square did not panic")
+		}
+	}()
+	New(2, 3).Trace()
+}
+
+func TestRowColSums(t *testing.T) {
+	m := NewFromRows([][]int64{{1, 2, 3}, {4, 5, 6}})
+	rs := m.RowSums()
+	cs := m.ColSums()
+	if rs[0] != 6 || rs[1] != 15 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	if cs[0] != 5 || cs[1] != 7 || cs[2] != 9 {
+		t.Fatalf("ColSums = %v", cs)
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := NewFromRows([][]int64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.SubMatrix(1, 3, 0, 2)
+	want := NewFromRows([][]int64{{4, 5}, {7, 8}})
+	if !s.Equal(want) {
+		t.Fatalf("SubMatrix = %v", s)
+	}
+	empty := m.SubMatrix(1, 1, 0, 3)
+	if empty.Rows != 0 || empty.Cols != 3 {
+		t.Fatal("empty SubMatrix shape wrong")
+	}
+}
+
+func TestIsBinary(t *testing.T) {
+	if !Ones(2, 2).IsBinary() || !New(2, 2).IsBinary() {
+		t.Fatal("binary matrices misclassified")
+	}
+	m := New(1, 1)
+	m.Set(0, 0, 2)
+	if m.IsBinary() {
+		t.Fatal("non-binary matrix classified binary")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := Ones(2, 2)
+	b := a.Clone()
+	b.Set(0, 0, 5)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+// Property: trace rotation invariance Γ(XY) = Γ(YX) for random binary
+// matrices — the identity the paper's derivation leans on.
+func TestQuickTraceRotation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(6) + 1
+		n := rng.Intn(6) + 1
+		x := randBinary(rng, m, n, 0.5)
+		y := randBinary(rng, n, m, 0.5)
+		return x.Mul(y).Trace() == y.Mul(x).Trace()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Σᵢⱼ(X∘Y) = Γ(XYᵀ), equation (3) of the paper.
+func TestQuickHadamardTraceIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(6) + 1
+		n := rng.Intn(6) + 1
+		x := randBinary(rng, m, n, 0.5)
+		y := randBinary(rng, m, n, 0.5)
+		return x.Hadamard(y).SumAll() == x.Mul(y.Transpose()).Trace()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestQuickTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(5) + 1
+		k := rng.Intn(5) + 1
+		n := rng.Intn(5) + 1
+		a := randBinary(rng, m, k, 0.5)
+		b := randBinary(rng, k, n, 0.5)
+		return a.Mul(b).Transpose().Equal(b.Transpose().Mul(a.Transpose()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if New(2, 3).Equal(New(3, 2)) {
+		t.Fatal("different shapes compare equal")
+	}
+	a := Ones(2, 2)
+	b := Ones(2, 2)
+	if !a.Equal(b) {
+		t.Fatal("equal matrices compare unequal")
+	}
+	b.Set(1, 1, 5)
+	if a.Equal(b) {
+		t.Fatal("different values compare equal")
+	}
+}
+
+func TestMustMatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Hadamard": func() { Ones(2, 2).Hadamard(Ones(2, 3)) },
+		"Add":      func() { Ones(2, 2).Add(Ones(3, 2)) },
+		"Sub":      func() { Ones(1, 2).Sub(Ones(2, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDiagNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(2, 3).Diag()
+}
+
+func TestSubMatrixOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(2, 2).SubMatrix(0, 3, 0, 1)
+}
+
+func TestStringRendering(t *testing.T) {
+	small := NewFromRows([][]int64{{1, 2}, {3, 4}})
+	s := small.String()
+	if !strings.Contains(s, "2x2") || !strings.Contains(s, "   4") {
+		t.Fatalf("String = %q", s)
+	}
+	big := Ones(20, 20)
+	if len(big.String()) == 0 {
+		t.Fatal("big String empty")
+	}
+}

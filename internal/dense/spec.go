@@ -1,0 +1,180 @@
+package dense
+
+import "fmt"
+
+// This file transcribes the specification equations of the paper
+// literally, using dense arithmetic. Everything here is a test oracle —
+// exact but intentionally naive.
+
+func mustDiv(v, d int64, what string) int64 {
+	if v%d != 0 {
+		panic(fmt.Sprintf("dense: %s = %d not divisible by %d (invalid adjacency input?)", what, v, d))
+	}
+	return v / d
+}
+
+// SpecCount computes the total number of butterflies ΞG from the
+// biadjacency matrix A using equation (7):
+//
+//	ΞG = ¼Γ(AAᵀAAᵀ) − ¼Γ(AAᵀ∘AAᵀ) − (¼Γ(JAAᵀ) − ¼Γ(AAᵀ))
+//
+// A must be a 0/1 matrix.
+func SpecCount(a *Matrix) int64 {
+	if !a.IsBinary() {
+		panic("dense: SpecCount needs a binary matrix")
+	}
+	b := a.MulTranspose()                     // B = AAᵀ, m×m
+	t1 := b.Mul(b).Trace()                    // Γ(BB) ; B symmetric so BBᵀ = BB
+	t2 := b.Hadamard(b).Trace()               // Γ(B∘B)
+	t3 := Ones(b.Rows, b.Rows).Mul(b).Trace() // Γ(JB)
+	t4 := b.Trace()                           // Γ(B)
+	return mustDiv(t1-t2-t3+t4, 4, "SpecCount numerator")
+}
+
+// SpecWedges computes the total number of wedges with distinct endpoints
+// in V1 using equation (6): W = ½Γ(JBᵀ) − ½Γ(B).
+func SpecWedges(a *Matrix) int64 {
+	b := a.MulTranspose()
+	t := Ones(b.Rows, b.Rows).Mul(b).Trace() - b.Trace()
+	return mustDiv(t, 2, "SpecWedges numerator")
+}
+
+// SpecCountPartitionedCols computes ΞG via the column partitioning
+// identity, equation (9), splitting A = (A_L | A_R) at column split.
+// Used to validate that the partitioned postcondition matches (7).
+func SpecCountPartitionedCols(a *Matrix, split int) int64 {
+	al := a.SubMatrix(0, a.Rows, 0, split)
+	ar := a.SubMatrix(0, a.Rows, split, a.Cols)
+	bl := al.MulTranspose()
+	br := ar.MulTranspose()
+	j := Ones(a.Rows, a.Rows)
+
+	num := bl.Mul(bl).Trace() + br.Mul(br).Trace() +
+		2*bl.Mul(br).Trace() -
+		bl.Hadamard(bl).Trace() - br.Hadamard(br).Trace() -
+		2*bl.Hadamard(br).Trace() -
+		j.Mul(bl).Trace() - j.Mul(br).Trace() +
+		bl.Trace() + br.Trace()
+	return mustDiv(num, 4, "SpecCountPartitionedCols numerator")
+}
+
+// SpecCountPartitionedRows computes ΞG via the row partitioning identity,
+// equation (12), splitting A = (A_T / A_B) at row split. Note that a row
+// partition of A is a column partition of Aᵀ, counting wedges whose
+// endpoints lie in V2.
+func SpecCountPartitionedRows(a *Matrix, split int) int64 {
+	return SpecCountPartitionedCols(a.Transpose(), split)
+}
+
+// SpecVertexButterflies returns the per-vertex butterfly counts for V1
+// (the vector s of equation (19)):
+//
+//	s = ½·DIAG(AAᵀAAᵀ − AAᵀ∘AAᵀ − JAAᵀ + AAᵀ)
+//
+// Erratum note: the paper writes a ¼ coefficient in (19). The i-th
+// diagonal entry is Σ_{j≠i}(β_ij² − β_ij) = 2·Σ_{j≠i} C(β_ij, 2), i.e.
+// exactly twice the number of butterflies vertex i belongs to, so the
+// per-vertex coefficient is ½. The paper's ¼ is correct only for the
+// aggregate ΞG = ¼·Γ(…) because each butterfly touches two V1 vertices.
+// With ½ the invariant Σᵢ sᵢ = 2·ΞG holds, which is what a k-tip
+// peeling requires ("every vertex in H is part of at least k
+// butterflies").
+func SpecVertexButterflies(a *Matrix) []int64 {
+	b := a.MulTranspose()
+	j := Ones(b.Rows, b.Rows)
+	x := b.Mul(b).Sub(b.Hadamard(b)).Sub(j.Mul(b)).Add(b)
+	d := x.Diag()
+	out := make([]int64, len(d))
+	for i, v := range d {
+		out[i] = mustDiv(v, 2, "SpecVertexButterflies entry")
+	}
+	return out
+}
+
+// SpecVertexButterfliesV2 returns per-vertex butterfly counts for V2,
+// obtained by applying (19) to Aᵀ.
+func SpecVertexButterfliesV2(a *Matrix) []int64 {
+	return SpecVertexButterflies(a.Transpose())
+}
+
+// SpecEdgeSupport returns the per-edge support matrix S_w of equation
+// (25):
+//
+//	S_w = (AAᵀA − diag(AAᵀ)·1ᵀ − 1·diag(AᵀA)ᵀ + J) ∘ A
+//
+// Entry (i, j) is the number of butterflies containing edge (i, j); it is
+// zero wherever A is zero.
+func SpecEdgeSupport(a *Matrix) *Matrix {
+	m, n := a.Rows, a.Cols
+	aat := a.MulTranspose()         // m×m
+	ata := a.Transpose().Mul(a)     // n×n
+	core := a.MulTranspose().Mul(a) // AAᵀA, m×n
+
+	s := New(m, n)
+	dr := aat.Diag() // deg of each u ∈ V1
+	dc := ata.Diag() // deg of each v ∈ V2
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if a.At(i, j) == 0 {
+				continue
+			}
+			s.Set(i, j, core.At(i, j)-dr[i]-dc[j]+1)
+		}
+	}
+	return s
+}
+
+// SpecKTip iterates equations (19)–(22) on a copy of A until no vertex is
+// removed, returning the adjacency matrix of the k-tip subgraph with
+// respect to V1. A zero row/column means the vertex was peeled.
+func SpecKTip(a *Matrix, k int64) *Matrix {
+	cur := a.Clone()
+	for {
+		s := SpecVertexButterflies(cur)
+		removed := false
+		for i, v := range s {
+			if v >= k {
+				continue
+			}
+			// Zero out row i only if it still has edges.
+			for j := 0; j < cur.Cols; j++ {
+				if cur.At(i, j) != 0 {
+					cur.Set(i, j, 0)
+					removed = true
+				}
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// SpecKWing iterates equations (25)–(27) on a copy of A until no edge is
+// removed, returning the adjacency matrix of the k-wing subgraph.
+func SpecKWing(a *Matrix, k int64) *Matrix {
+	cur := a.Clone()
+	for {
+		s := SpecEdgeSupport(cur)
+		removed := false
+		for i := 0; i < cur.Rows; i++ {
+			for j := 0; j < cur.Cols; j++ {
+				if cur.At(i, j) != 0 && s.At(i, j) < k {
+					cur.Set(i, j, 0)
+					removed = true
+				}
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// SpecPathsLen4 returns Γ(BBᵀ) = the number of closed paths of length 4
+// anchored at V1 (including degenerate ones), used in tests that verify
+// the decomposition argument of Section II.
+func SpecPathsLen4(a *Matrix) int64 {
+	b := a.MulTranspose()
+	return b.Mul(b).Trace()
+}

@@ -1,0 +1,406 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteCount enumerates all (i<j, k<p) quadruples and counts complete
+// 2×2 bicliques — the definition of a butterfly, independent of any
+// algebra. O(m²n²); only for tiny matrices.
+func bruteCount(a *Matrix) int64 {
+	var c int64
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Rows; j++ {
+			for k := 0; k < a.Cols; k++ {
+				for p := k + 1; p < a.Cols; p++ {
+					if a.At(i, k) != 0 && a.At(i, p) != 0 && a.At(j, k) != 0 && a.At(j, p) != 0 {
+						c++
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+// bruteWedges counts paths (i, k, j) with i<j in V1 directly.
+func bruteWedges(a *Matrix) int64 {
+	var c int64
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Rows; j++ {
+			for k := 0; k < a.Cols; k++ {
+				if a.At(i, k) != 0 && a.At(j, k) != 0 {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
+// bruteVertexButterflies counts, for each row vertex, the butterflies it
+// participates in.
+func bruteVertexButterflies(a *Matrix) []int64 {
+	out := make([]int64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Rows; j++ {
+			for k := 0; k < a.Cols; k++ {
+				for p := k + 1; p < a.Cols; p++ {
+					if a.At(i, k) != 0 && a.At(i, p) != 0 && a.At(j, k) != 0 && a.At(j, p) != 0 {
+						out[i]++
+						out[j]++
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bruteEdgeSupport counts, for each edge, the butterflies containing it.
+func bruteEdgeSupport(a *Matrix) *Matrix {
+	s := New(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := i + 1; j < a.Rows; j++ {
+			for k := 0; k < a.Cols; k++ {
+				for p := k + 1; p < a.Cols; p++ {
+					if a.At(i, k) != 0 && a.At(i, p) != 0 && a.At(j, k) != 0 && a.At(j, p) != 0 {
+						s.Set(i, k, s.At(i, k)+1)
+						s.Set(i, p, s.At(i, p)+1)
+						s.Set(j, k, s.At(j, k)+1)
+						s.Set(j, p, s.At(j, p)+1)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// completeBipartite returns the biadjacency of K(a,b).
+func completeBipartite(a, b int) *Matrix { return Ones(a, b) }
+
+func binom2(x int64) int64 { return x * (x - 1) / 2 }
+
+func TestSpecCountSingleButterfly(t *testing.T) {
+	a := Ones(2, 2) // exactly one butterfly
+	if got := SpecCount(a); got != 1 {
+		t.Fatalf("SpecCount(K2,2) = %d, want 1", got)
+	}
+}
+
+func TestSpecCountNoButterfly(t *testing.T) {
+	cases := map[string]*Matrix{
+		"empty":     New(3, 3),
+		"star":      NewFromRows([][]int64{{1, 1, 1}}),
+		"matching":  NewFromRows([][]int64{{1, 0}, {0, 1}}),
+		"path4":     NewFromRows([][]int64{{1, 1, 0}, {0, 1, 1}}),
+		"singleRow": Ones(1, 5),
+		"singleCol": Ones(5, 1),
+	}
+	for name, a := range cases {
+		if got := SpecCount(a); got != 0 {
+			t.Errorf("%s: SpecCount = %d, want 0", name, got)
+		}
+	}
+}
+
+func TestSpecCountCompleteBipartite(t *testing.T) {
+	// K(a,b) has C(a,2)·C(b,2) butterflies.
+	for _, c := range []struct{ a, b int }{{2, 2}, {2, 3}, {3, 3}, {4, 5}, {6, 2}, {5, 5}} {
+		a := completeBipartite(c.a, c.b)
+		want := binom2(int64(c.a)) * binom2(int64(c.b))
+		if got := SpecCount(a); got != want {
+			t.Errorf("K(%d,%d): SpecCount = %d, want %d", c.a, c.b, got, want)
+		}
+	}
+}
+
+func TestSpecCountCycle8(t *testing.T) {
+	// An 8-cycle in bipartite form: V1 = 4 vertices, V2 = 4 vertices,
+	// each row vertex adjacent to two consecutive column vertices.
+	a := NewFromRows([][]int64{
+		{1, 1, 0, 0},
+		{0, 1, 1, 0},
+		{0, 0, 1, 1},
+		{1, 0, 0, 1},
+	})
+	if got := SpecCount(a); got != 0 {
+		t.Fatalf("C8: SpecCount = %d, want 0 (cycle has no butterfly)", got)
+	}
+	if got, want := SpecCount(Ones(2, 2)), bruteCount(Ones(2, 2)); got != want {
+		t.Fatalf("sanity: %d vs brute %d", got, want)
+	}
+}
+
+func TestSpecCountNonBinaryPanics(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SpecCount on non-binary matrix did not panic")
+		}
+	}()
+	SpecCount(m)
+}
+
+func TestQuickSpecCountMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(7) + 1
+		n := rng.Intn(7) + 1
+		a := randBinary(rng, m, n, 0.3+rng.Float64()*0.5)
+		return SpecCount(a) == bruteCount(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpecWedgesMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(7)+1, rng.Intn(7)+1, 0.5)
+		return SpecWedges(a) == bruteWedges(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Equation (9) must agree with equation (7) for every split point.
+func TestQuickPartitionedColsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(6) + 2
+		n := rng.Intn(6) + 2
+		a := randBinary(rng, m, n, 0.5)
+		want := SpecCount(a)
+		for split := 0; split <= n; split++ {
+			if SpecCountPartitionedCols(a, split) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Equation (12): row partitioning agrees too, for every split point.
+func TestQuickPartitionedRowsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(6) + 2
+		n := rng.Intn(6) + 2
+		a := randBinary(rng, m, n, 0.5)
+		want := SpecCount(a)
+		for split := 0; split <= m; split++ {
+			if SpecCountPartitionedRows(a, split) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Counting is symmetric in the bipartition: ΞG(A) == ΞG(Aᵀ).
+func TestQuickCountTransposeInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(7)+1, rng.Intn(7)+1, 0.5)
+		return SpecCount(a) == SpecCount(a.Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVertexButterfliesMatchBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(6)+1, rng.Intn(6)+1, 0.5)
+		got := SpecVertexButterflies(a)
+		want := bruteVertexButterflies(a)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Σ per-vertex counts (V1 side) = 2·ΞG: every butterfly touches exactly
+// two V1 vertices.
+func TestQuickVertexButterfliesSumIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(7)+1, rng.Intn(7)+1, 0.5)
+		var sum int64
+		for _, v := range SpecVertexButterflies(a) {
+			sum += v
+		}
+		return sum == 2*SpecCount(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEdgeSupportMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(6)+1, rng.Intn(6)+1, 0.5)
+		return SpecEdgeSupport(a).Equal(bruteEdgeSupport(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Σ edge supports = 4·ΞG: every butterfly has exactly four edges.
+func TestQuickEdgeSupportSumIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(7)+1, rng.Intn(7)+1, 0.5)
+		return SpecEdgeSupport(a).SumAll() == 4*SpecCount(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecKTipCompleteBipartite(t *testing.T) {
+	// In K(3,3) every V1 vertex is in C(2,2)... actually each vertex of V1
+	// is in C(2,1)·C(3,2) = binom2(3)*... compute: per-vertex count is
+	// (a-1 choose 1 pairs) — just take it from the spec: all vertices have
+	// the same count s, so the s-tip is the whole graph and the (s+1)-tip
+	// is empty.
+	a := completeBipartite(3, 3)
+	s := SpecVertexButterflies(a)[0]
+	if s <= 0 {
+		t.Fatalf("expected positive per-vertex count, got %d", s)
+	}
+	whole := SpecKTip(a, s)
+	if !whole.Equal(a) {
+		t.Fatal("s-tip of K(3,3) should be the whole graph")
+	}
+	empty := SpecKTip(a, s+1)
+	if empty.SumAll() != 0 {
+		t.Fatal("(s+1)-tip of K(3,3) should be empty")
+	}
+}
+
+func TestSpecKTipZeroKeepsGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randBinary(rng, 6, 6, 0.4)
+	if !SpecKTip(a, 0).Equal(a) {
+		t.Fatal("0-tip must keep the whole graph")
+	}
+}
+
+func TestSpecKWingCompleteBipartite(t *testing.T) {
+	a := completeBipartite(3, 4)
+	s := SpecEdgeSupport(a).At(0, 0)
+	if s <= 0 {
+		t.Fatal("expected positive edge support")
+	}
+	if !SpecKWing(a, s).Equal(a) {
+		t.Fatal("s-wing of complete bipartite should be whole graph")
+	}
+	if SpecKWing(a, s+1).SumAll() != 0 {
+		t.Fatal("(s+1)-wing should be empty")
+	}
+}
+
+// Monotone nesting: the (k+1)-wing is a subgraph of the k-wing.
+func TestQuickKWingNesting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(5)+2, rng.Intn(5)+2, 0.6)
+		prev := SpecKWing(a, 0)
+		for k := int64(1); k <= 3; k++ {
+			next := SpecKWing(a, k)
+			for i := range next.Data {
+				if next.Data[i] != 0 && prev.Data[i] == 0 {
+					return false
+				}
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Monotone nesting for tips.
+func TestQuickKTipNesting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(5)+2, rng.Intn(5)+2, 0.6)
+		prev := SpecKTip(a, 0)
+		for k := int64(1); k <= 3; k++ {
+			next := SpecKTip(a, k)
+			for i := range next.Data {
+				if next.Data[i] != 0 && prev.Data[i] == 0 {
+					return false
+				}
+			}
+			prev = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Section II decomposition: Γ(BBᵀ) = 4·ΞG + Γ(B∘B) + 2·W, i.e. closed
+// 4-paths split into butterflies (4 traversals each... the paper's ¼
+// accounting), two-line paths, and repeated wedges (2 traversals each).
+func TestQuickClosedPathDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randBinary(rng, rng.Intn(7)+1, rng.Intn(7)+1, 0.5)
+		b := a.MulTranspose()
+		lhs := SpecPathsLen4(a)
+		rhs := 4*SpecCount(a) + b.Hadamard(b).Trace() + 2*SpecWedges(a)
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecVertexButterfliesV2(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randBinary(rng, 6, 5, 0.5)
+	got := SpecVertexButterfliesV2(a)
+	want := bruteVertexButterflies(a.Transpose())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("V2 vertex %d: %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMustDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	mustDiv(3, 2, "test")
+}

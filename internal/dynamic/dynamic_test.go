@@ -1,0 +1,222 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/core"
+	"butterfly/internal/gen"
+)
+
+func TestEmptyCounter(t *testing.T) {
+	c := New(3, 4)
+	if c.Count() != 0 || c.NumEdges() != 0 || c.NumV1() != 3 || c.NumV2() != 4 {
+		t.Fatal("empty counter wrong")
+	}
+	if c.HasEdge(0, 0) || c.HasEdge(-1, 0) || c.HasEdge(0, 9) {
+		t.Fatal("phantom edges")
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestInsertBuildsButterfly(t *testing.T) {
+	c := New(2, 2)
+	for _, e := range [][2]int{{0, 0}, {0, 1}, {1, 0}} {
+		added, delta := c.InsertEdge(e[0], e[1])
+		if !added || delta != 0 {
+			t.Fatalf("edge %v: added=%v delta=%d", e, added, delta)
+		}
+	}
+	added, delta := c.InsertEdge(1, 1) // closes K(2,2)
+	if !added || delta != 1 {
+		t.Fatalf("closing edge: added=%v delta=%d", added, delta)
+	}
+	if c.Count() != 1 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+}
+
+func TestDuplicateInsertNoop(t *testing.T) {
+	c := New(2, 2)
+	c.InsertEdge(0, 0)
+	added, delta := c.InsertEdge(0, 0)
+	if added || delta != 0 || c.NumEdges() != 1 {
+		t.Fatal("duplicate insert not a no-op")
+	}
+}
+
+func TestDeleteMissingNoop(t *testing.T) {
+	c := New(2, 2)
+	removed, delta := c.DeleteEdge(1, 1)
+	if removed || delta != 0 {
+		t.Fatal("missing delete not a no-op")
+	}
+}
+
+func TestInsertDeleteRoundTrip(t *testing.T) {
+	c := FromGraph(gen.CompleteBipartite(3, 3))
+	if c.Count() != 9 {
+		t.Fatalf("K(3,3) count = %d, want 9", c.Count())
+	}
+	removed, delta := c.DeleteEdge(0, 0)
+	if !removed || delta != 4 {
+		// edge (0,0) in K(3,3) supports (3-1)(3-1) = 4 butterflies
+		t.Fatalf("delete: removed=%v delta=%d", removed, delta)
+	}
+	if c.Count() != 5 {
+		t.Fatalf("count after delete = %d, want 5", c.Count())
+	}
+	added, delta := c.InsertEdge(0, 0)
+	if !added || delta != 4 || c.Count() != 9 {
+		t.Fatalf("reinsert: delta=%d count=%d", delta, c.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	c := New(2, 2)
+	for name, fn := range map[string]func(){
+		"insert": func() { c.InsertEdge(2, 0) },
+		"delete": func() { c.DeleteEdge(0, -1) },
+		"vertex": func() { c.VertexDelta(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The core property: after any random mutation sequence, the
+// maintained count equals a fresh static recount of the snapshot.
+func TestQuickCounterMatchesStaticRecount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := rng.Intn(8)+2, rng.Intn(8)+2
+		c := New(m, n)
+		for step := 0; step < 60; step++ {
+			u, v := rng.Intn(m), rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				c.DeleteEdge(u, v)
+			} else {
+				c.InsertEdge(u, v)
+			}
+		}
+		return c.Count() == core.CountAuto(c.Snapshot())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Deltas must telescope: Σ insert deltas − Σ delete deltas == count.
+func TestQuickDeltasTelescope(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := rng.Intn(7)+2, rng.Intn(7)+2
+		c := New(m, n)
+		var running int64
+		for step := 0; step < 50; step++ {
+			u, v := rng.Intn(m), rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				_, d := c.DeleteEdge(u, v)
+				running -= d
+			} else {
+				_, d := c.InsertEdge(u, v)
+				running += d
+			}
+		}
+		return running == c.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromGraphMatchesStatic(t *testing.T) {
+	g := gen.PowerLawBipartite(80, 60, 400, 0.7, 0.7, 9)
+	c := FromGraph(g)
+	if c.Count() != core.CountAuto(g) {
+		t.Fatalf("FromGraph count %d, static %d", c.Count(), core.CountAuto(g))
+	}
+	if c.NumEdges() != g.NumEdges() {
+		t.Fatal("edge count mismatch")
+	}
+	if !c.Snapshot().Equal(g) {
+		t.Fatal("snapshot differs from source")
+	}
+}
+
+// VertexDelta agrees with the static per-vertex vector.
+func TestQuickVertexDeltaMatchesStatic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng.Intn(8)+2, rng.Intn(8)+2, 0.5, seed)
+		c := FromGraph(g)
+		want := core.VertexButterflies(g, core.SideV1)
+		for u := 0; u < g.NumV1(); u++ {
+			if c.VertexDelta(u) != want[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	g := gen.PowerLawBipartite(5000, 4000, 30000, 0.7, 0.7, 11)
+	c := FromGraph(g)
+	rng := rand.New(rand.NewSource(12))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v := rng.Intn(5000), rng.Intn(4000)
+		if i%2 == 0 {
+			c.InsertEdge(u, v)
+		} else {
+			c.DeleteEdge(u, v)
+		}
+	}
+}
+
+func TestQuickVertexDeltaV2MatchesStatic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(rng.Intn(8)+2, rng.Intn(8)+2, 0.5, seed)
+		c := FromGraph(g)
+		want := core.VertexButterflies(g, core.SideV2)
+		for v := 0; v < g.NumV2(); v++ {
+			if c.VertexDeltaV2(v) != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexDeltaV2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(2, 2).VertexDeltaV2(2)
+}

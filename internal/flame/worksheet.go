@@ -1,0 +1,104 @@
+package flame
+
+import (
+	"fmt"
+	"strings"
+
+	"butterfly/internal/core"
+)
+
+// Worksheet renders the paper's eight-step FLAME worksheet for one
+// invariant as text — the derivation of Section III-C instantiated for
+// every family member. The output is deterministic, suitable for
+// documentation, teaching, and golden tests.
+func Worksheet(inv core.Invariant) string {
+	if inv < core.Inv1 || inv > core.Inv8 {
+		panic("flame: invalid invariant " + inv.String())
+	}
+	colFamily := inv.PartitionsV2()
+
+	// Naming per family: columns are partitioned L|R, rows T/B. The
+	// exposed unit is a column a1 of A (or a row a1ᵀ).
+	var (
+		partA, partB string // partition names
+		unit         string
+		guard        string
+		initName     string
+		traverse     string
+		sizeFn       string
+	)
+	if colFamily {
+		partA, partB = "A_L", "A_R"
+		unit = "a1 (one column of A, the neighborhood of a vertex of V2)"
+		sizeFn = "n(·) = number of columns"
+	} else {
+		partA, partB = "A_T", "A_B"
+		unit = "a1ᵀ (one row of A, the neighborhood of a vertex of V1)"
+		sizeFn = "m(·) = number of rows"
+	}
+
+	desc := inv == core.Inv3 || inv == core.Inv4 || inv == core.Inv7 || inv == core.Inv8
+	if colFamily {
+		if desc {
+			traverse = partB + " grows right-to-left"
+			guard = "n(" + partB + ") < n(A)"
+			initName = partB + " has 0 columns"
+		} else {
+			traverse = partA + " grows left-to-right"
+			guard = "n(" + partA + ") < n(A)"
+			initName = partA + " has 0 columns"
+		}
+	} else {
+		if desc {
+			traverse = partB + " grows bottom-to-top"
+			guard = "m(" + partB + ") < m(A)"
+			initName = partB + " has 0 rows"
+		} else {
+			traverse = partA + " grows top-to-bottom"
+			guard = "m(" + partA + ") < m(A)"
+			initName = partA + " has 0 rows"
+		}
+	}
+
+	var invariantForm, partner string
+	switch inv {
+	case core.Inv1, core.Inv5:
+		invariantForm = "ΞG = Ξ_" + suffix(partA)
+		partner = "A0 (the already-exposed partition)"
+	case core.Inv2, core.Inv6:
+		invariantForm = "ΞG = Ξ_" + suffix(partA) + " + Ξ_" + suffix(partA) + suffix(partB)
+		partner = "A2 (the not-yet-exposed partition — look-ahead)"
+	case core.Inv3, core.Inv7:
+		invariantForm = "ΞG = Ξ_" + suffix(partB) + " + Ξ_" + suffix(partA) + suffix(partB)
+		partner = "A0 (the not-yet-exposed partition — look-ahead)"
+	case core.Inv4, core.Inv8:
+		invariantForm = "ΞG = Ξ_" + suffix(partB)
+		partner = "A2 (the already-exposed partition)"
+	}
+
+	var sb strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&sb, format+"\n", args...) }
+	w("FLAME worksheet — %v (%s)", inv, familyName(inv))
+	w("Step 1  precondition:   ΞG = 0")
+	w("        postcondition:  ΞG = ¼Γ(AAᵀAAᵀ) − ¼Γ(AAᵀ∘AAᵀ) − (¼Γ(JAAᵀ) − ¼Γ(AAᵀ))   (eq. 7)")
+	w("Step 2  loop invariant:  %s   (counted butterflies so far)", invariantForm)
+	w("Step 3  loop guard:      %s   [%s]", guard, sizeFn)
+	w("Step 4  initialization:  %s  ⇒  precondition implies the invariant", initName)
+	w("Step 5  progress:        expose %s; %s", unit, traverse)
+	w("Step 6/7 states around the update follow by substituting the 3-way repartition")
+	w("        (A0 | a1 | A2) into the invariant (trace is rotation-invariant).")
+	w("Step 8  update:          ΞG := ½·a1ᵀ·Ap·Apᵀ·a1 − ½·Γ(a1a1ᵀ ∘ ApApᵀ) + ΞG   (eq. 18)")
+	w("        with Ap = %s;", partner)
+	w("        implemented as Σ_j C(β_j, 2) over a wedge accumulator —")
+	w("        the subtraction term is never materialized.")
+	return sb.String()
+}
+
+func suffix(part string) string { return part[len(part)-1:] }
+
+func familyName(inv core.Invariant) string {
+	if inv.PartitionsV2() {
+		return "partitions V2, Fig 6"
+	}
+	return "partitions V1, Fig 7"
+}

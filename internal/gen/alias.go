@@ -1,0 +1,99 @@
+// Package gen produces synthetic bipartite graphs: classic random
+// models (Erdős–Rényi, G(n,m), Chung–Lu, configuration model),
+// structured families with closed-form butterfly counts (complete
+// bipartite, cycles, stars), and seeded stand-ins for the five KONECT
+// datasets of the paper's evaluation (see datasets.go).
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AliasSampler draws indices from a fixed discrete distribution in O(1)
+// per sample using Walker–Vose alias tables. It is the workhorse behind
+// the Chung–Lu generator, where millions of weighted vertex draws are
+// needed.
+type AliasSampler struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasSampler builds the alias table for the given non-negative
+// weights. At least one weight must be positive.
+func NewAliasSampler(weights []float64) *AliasSampler {
+	n := len(weights)
+	if n == 0 {
+		panic("gen: empty weight vector")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("gen: negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("gen: all weights zero")
+	}
+
+	s := &AliasSampler{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		s.prob[l] = scaled[l]
+		s.alias[l] = g
+		scaled[g] = scaled[g] + scaled[l] - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		s.prob[g] = 1
+		s.alias[g] = g
+	}
+	for _, l := range small {
+		s.prob[l] = 1
+		s.alias[l] = l
+	}
+	return s
+}
+
+// Sample draws one index.
+func (s *AliasSampler) Sample(rng *rand.Rand) int {
+	i := rng.Intn(len(s.prob))
+	if rng.Float64() < s.prob[i] {
+		return i
+	}
+	return int(s.alias[i])
+}
+
+// PowerLawWeights returns n weights w_i ∝ (i+1)^(−alpha), the standard
+// heavy-tailed degree profile of web-scale bipartite networks. alpha = 0
+// yields uniform weights.
+func PowerLawWeights(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), -alpha)
+	}
+	return w
+}

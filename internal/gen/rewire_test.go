@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRewirePreservesDegrees(t *testing.T) {
+	g := PowerLawBipartite(200, 150, 1500, 0.7, 0.7, 3)
+	h := Rewire(g, 3000, 7)
+	if h.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", h.NumEdges(), g.NumEdges())
+	}
+	for u := 0; u < g.NumV1(); u++ {
+		if h.DegreeV1(u) != g.DegreeV1(u) {
+			t.Fatalf("V1 degree of %d changed", u)
+		}
+	}
+	for v := 0; v < g.NumV2(); v++ {
+		if h.DegreeV2(v) != g.DegreeV2(v) {
+			t.Fatalf("V2 degree of %d changed", v)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With thousands of swaps the edge set must actually change.
+	if h.Equal(g) {
+		t.Fatal("rewiring did not change the graph")
+	}
+}
+
+func TestRewireDeterministicAndNoOp(t *testing.T) {
+	g := PowerLawBipartite(50, 50, 300, 0.7, 0.7, 4)
+	if !Rewire(g, 500, 9).Equal(Rewire(g, 500, 9)) {
+		t.Fatal("same seed differs")
+	}
+	if !Rewire(g, 0, 9).Equal(g) {
+		t.Fatal("0 swaps changed the graph")
+	}
+	// Graphs too small to swap come back unchanged.
+	if !Rewire(Star(1), 10, 1).Equal(Star(1)) {
+		t.Fatal("single-edge graph changed")
+	}
+}
+
+func TestRewireCompleteGraphIsFixed(t *testing.T) {
+	// No swap is possible in a complete bipartite graph: every
+	// candidate edge already exists.
+	g := CompleteBipartite(4, 4)
+	if !Rewire(g, 100, 2).Equal(g) {
+		t.Fatal("complete graph rewired")
+	}
+}
+
+func TestRewireNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Rewire(Star(2), -1, 1)
+}
+
+// Property: degrees always preserved, graph always simple.
+func TestQuickRewireInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := rng.Intn(15)+2, rng.Intn(15)+2
+		e := int64(rng.Intn(40) + 2)
+		if limit := int64(m) * int64(n); e > limit {
+			e = limit
+		}
+		g := Gnm(m, n, e, seed)
+		h := Rewire(g, 50, seed+1)
+		if h.Validate() != nil || h.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for u := 0; u < g.NumV1(); u++ {
+			if h.DegreeV1(u) != g.DegreeV1(u) {
+				return false
+			}
+		}
+		for v := 0; v < g.NumV2(); v++ {
+			if h.DegreeV2(v) != g.DegreeV2(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSBMStructure(t *testing.T) {
+	// Two paired 20×20 blocks with dense intra-block wiring.
+	g := SBM([]int{20, 20}, []int{20, 20}, 0.5, 0.02, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV1() != 40 || g.NumV2() != 40 {
+		t.Fatalf("sizes %d/%d", g.NumV1(), g.NumV2())
+	}
+	// Intra-block density ≫ inter-block density.
+	intra, inter := 0, 0
+	for u := 0; u < 40; u++ {
+		for _, v := range g.NeighborsOfV1(u) {
+			if (u < 20) == (int(v) < 20) {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	if intra < 5*inter {
+		t.Fatalf("no community structure: intra %d, inter %d", intra, inter)
+	}
+	// Deterministic.
+	if !g.Equal(SBM([]int{20, 20}, []int{20, 20}, 0.5, 0.02, 5)) {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestSBMUnpairedBlocksAndExtremes(t *testing.T) {
+	// More blocks on one side than the other: extra blocks still connect
+	// at pOut.
+	g := SBM([]int{5, 5, 5}, []int{5}, 1, 0, 1)
+	// Block 0 pairs: complete 5×5; blocks 1,2 have no edges (pOut=0).
+	if g.NumEdges() != 25 {
+		t.Fatalf("edges = %d, want 25", g.NumEdges())
+	}
+	for u := 5; u < 15; u++ {
+		if g.DegreeV1(u) != 0 {
+			t.Fatal("unpaired block gained edges at pOut=0")
+		}
+	}
+	empty := SBM([]int{3}, []int{3}, 0, 0, 1)
+	if empty.NumEdges() != 0 {
+		t.Fatal("p=0 SBM has edges")
+	}
+}
+
+func TestSBMPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"badP":     func() { SBM([]int{2}, []int{2}, 1.5, 0, 1) },
+		"negBlock": func() { SBM([]int{-1}, []int{2}, 0.5, 0.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,60 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"butterfly/internal/graph"
+)
+
+// SBM samples a bipartite stochastic block model: V1 is partitioned
+// into len(blocks1) communities with the given sizes, V2 likewise into
+// len(blocks2); an edge between a V1 vertex of community a and a V2
+// vertex of community b appears independently with probability
+// pIn when a == b (paired communities; extra unpaired communities use
+// pOut everywhere) and pOut otherwise. The planted-partition workload
+// for community detection, significance testing and the anomaly
+// example: butterflies concentrate inside paired blocks.
+func SBM(blocks1, blocks2 []int, pIn, pOut float64, seed int64) *graph.Bipartite {
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		panic(fmt.Sprintf("gen: SBM probabilities (%f, %f) out of [0,1]", pIn, pOut))
+	}
+	var m, n int
+	comm1 := blockLabels(blocks1, &m)
+	comm2 := blockLabels(blocks2, &n)
+
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(m, n)
+	for u := 0; u < m; u++ {
+		for v := 0; v < n; v++ {
+			p := pOut
+			if comm1[u] == comm2[v] {
+				p = pIn
+			}
+			if p > 0 && rng.Float64() < p {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// blockLabels expands block sizes into a per-vertex community vector,
+// accumulating the total size into *total. Blocks beyond the other
+// side's count never pair (label −1−index would collide across sides,
+// so labels are the block index; pairing is by equal index).
+func blockLabels(blocks []int, total *int) []int32 {
+	for _, s := range blocks {
+		if s < 0 {
+			panic(fmt.Sprintf("gen: negative block size %d", s))
+		}
+		*total += s
+	}
+	labels := make([]int32, 0, *total)
+	for idx, s := range blocks {
+		for i := 0; i < s; i++ {
+			labels = append(labels, int32(idx))
+		}
+	}
+	return labels
+}

@@ -1,0 +1,79 @@
+package graph
+
+// Components labels the connected components of the bipartite graph.
+// compV1[u] and compV2[v] hold 0-based component ids; isolated vertices
+// get their own singleton components. Butterflies never span
+// components, so component structure bounds where dense cores can live
+// and lets large analyses shard per component.
+func Components(g *Bipartite) (compV1, compV2 []int32, count int) {
+	m, n := g.NumV1(), g.NumV2()
+	compV1 = make([]int32, m)
+	compV2 = make([]int32, n)
+	for i := range compV1 {
+		compV1[i] = -1
+	}
+	for i := range compV2 {
+		compV2[i] = -1
+	}
+
+	// BFS over the union vertex set; V2 ids are offset by m.
+	queue := make([]int32, 0, 1024)
+	next := int32(0)
+	for start := 0; start < m; start++ {
+		if compV1[start] != -1 {
+			continue
+		}
+		id := next
+		next++
+		compV1[start] = id
+		queue = append(queue[:0], int32(start))
+		for len(queue) > 0 {
+			x := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if int(x) < m {
+				for _, v := range g.NeighborsOfV1(int(x)) {
+					if compV2[v] == -1 {
+						compV2[v] = id
+						queue = append(queue, int32(m)+v)
+					}
+				}
+			} else {
+				for _, u := range g.NeighborsOfV2(int(x) - m) {
+					if compV1[u] == -1 {
+						compV1[u] = id
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+	}
+	// Isolated V2 vertices become their own components.
+	for v := range compV2 {
+		if compV2[v] == -1 {
+			compV2[v] = next
+			next++
+		}
+	}
+	return compV1, compV2, int(next)
+}
+
+// LargestComponent returns the subgraph induced by the component with
+// the most edges (vertex ids preserved; everything else isolated).
+// Returns g unchanged when it has at most one component.
+func LargestComponent(g *Bipartite) *Bipartite {
+	compV1, _, count := Components(g)
+	if count <= 1 {
+		return g
+	}
+	edgeCount := make([]int64, count)
+	for u := 0; u < g.NumV1(); u++ {
+		edgeCount[compV1[u]] += int64(g.DegreeV1(u))
+	}
+	best := int32(0)
+	for id := 1; id < count; id++ {
+		if edgeCount[id] > edgeCount[best] {
+			best = int32(id)
+		}
+	}
+	return g.FilterEdges(func(u, v int32) bool { return compV1[u] == best })
+}

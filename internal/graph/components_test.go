@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentsSingle(t *testing.T) {
+	g := k22()
+	c1, c2, n := Components(g)
+	if n != 1 {
+		t.Fatalf("components = %d, want 1", n)
+	}
+	for _, c := range append(c1, c2...) {
+		if c != 0 {
+			t.Fatal("vertex outside component 0")
+		}
+	}
+}
+
+func TestComponentsDisjointBlocks(t *testing.T) {
+	// Two K(2,2) blocks plus one isolated vertex per side.
+	b := NewBuilder(5, 5)
+	for _, e := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}, {2, 3}, {3, 2}, {3, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	c1, c2, n := Components(g)
+	if n != 4 { // two blocks + isolated u4 + isolated v4
+		t.Fatalf("components = %d, want 4", n)
+	}
+	if c1[0] != c1[1] || c1[0] != c2[0] || c1[0] != c2[1] {
+		t.Fatal("block 1 split")
+	}
+	if c1[2] != c1[3] || c1[2] != c2[2] {
+		t.Fatal("block 2 split")
+	}
+	if c1[0] == c1[2] {
+		t.Fatal("blocks merged")
+	}
+	if c1[4] == c1[0] || c1[4] == c1[2] || c2[4] == c1[4] {
+		// isolated vertices have fresh ids
+		if c1[4] == c2[4] {
+			t.Fatal("distinct isolated vertices share a component")
+		}
+	}
+}
+
+func TestComponentsEmpty(t *testing.T) {
+	_, _, n := Components(NewBuilder(0, 0).Build())
+	if n != 0 {
+		t.Fatalf("empty graph components = %d", n)
+	}
+	_, c2, n := Components(NewBuilder(0, 3).Build())
+	if n != 3 || c2[0] == c2[1] {
+		t.Fatalf("isolated-only graph wrong: n=%d", n)
+	}
+}
+
+// Every edge joins same-component endpoints, and component ids are
+// dense in [0, count).
+func TestQuickComponentsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randGraph(rng, rng.Intn(12)+1, rng.Intn(12)+1, 0.15)
+		c1, c2, n := Components(g)
+		used := make([]bool, n)
+		for u := 0; u < g.NumV1(); u++ {
+			if c1[u] < 0 || int(c1[u]) >= n {
+				return false
+			}
+			used[c1[u]] = true
+			for _, v := range g.NeighborsOfV1(u) {
+				if c2[v] != c1[u] {
+					return false
+				}
+			}
+		}
+		for v := 0; v < g.NumV2(); v++ {
+			if c2[v] < 0 || int(c2[v]) >= n {
+				return false
+			}
+			used[c2[v]] = true
+		}
+		for _, ok := range used {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	// A big K(3,3) block and a small K(2,2) block.
+	b := NewBuilder(5, 5)
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge(3, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 3)
+	b.AddEdge(4, 4)
+	g := b.Build()
+
+	lc := LargestComponent(g)
+	if lc.NumEdges() != 9 {
+		t.Fatalf("largest component has %d edges, want 9", lc.NumEdges())
+	}
+	if lc.HasEdge(3, 3) {
+		t.Fatal("small block survived")
+	}
+	// Single-component graph is returned unchanged.
+	if LargestComponent(k22()) != k22() && !LargestComponent(k22()).Equal(k22()) {
+		t.Fatal("single component altered")
+	}
+}

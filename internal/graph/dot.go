@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the bipartite graph in Graphviz DOT format: V1
+// vertices as boxes named u<i> on one rank, V2 vertices as ellipses
+// named v<j> on another. Intended for eyeballing small graphs and
+// peeling results (`dot -Tsvg`); emitting a million-edge graph is
+// possible but unkind.
+func WriteDOT(w io.Writer, g *Bipartite, name string) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "bipartite"
+	}
+	fmt.Fprintf(bw, "graph %q {\n  rankdir=LR;\n", name)
+	fmt.Fprintf(bw, "  subgraph cluster_v1 { label=\"V1\"; node [shape=box];\n")
+	for u := 0; u < g.NumV1(); u++ {
+		fmt.Fprintf(bw, "    u%d;\n", u)
+	}
+	fmt.Fprintf(bw, "  }\n  subgraph cluster_v2 { label=\"V2\"; node [shape=ellipse];\n")
+	for v := 0; v < g.NumV2(); v++ {
+		fmt.Fprintf(bw, "    v%d;\n", v)
+	}
+	fmt.Fprintf(bw, "  }\n")
+	for u := 0; u < g.NumV1(); u++ {
+		for _, v := range g.NeighborsOfV1(u) {
+			fmt.Fprintf(bw, "  u%d -- v%d;\n", u, v)
+		}
+	}
+	fmt.Fprintf(bw, "}\n")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: WriteDOT: %w", err)
+	}
+	return nil
+}
+
+// DegreeHistogram returns hist where hist[d] is the number of vertices
+// with degree d on the chosen side (true = V1).
+func DegreeHistogram(g *Bipartite, sideV1 bool) []int64 {
+	n, deg := g.NumV2(), g.DegreeV2
+	if sideV1 {
+		n, deg = g.NumV1(), g.DegreeV1
+	}
+	maxDeg := 0
+	for i := 0; i < n; i++ {
+		if d := deg(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int64, maxDeg+1)
+	for i := 0; i < n; i++ {
+		hist[deg(i)]++
+	}
+	return hist
+}
+
+// DegreeGini returns the Gini coefficient of the side's degree
+// distribution — 0 for perfectly uniform degrees, approaching 1 for
+// hub-dominated ones. It quantifies the skew that decides how well
+// chunked parallel schedules balance (see core.WorkBalance).
+func DegreeGini(g *Bipartite, sideV1 bool) float64 {
+	n := g.NumV2()
+	if sideV1 {
+		n = g.NumV1()
+	}
+	if n == 0 {
+		return 0
+	}
+	// Gini from the histogram: Σᵢ Σⱼ |dᵢ − dⱼ| / (2 n² mean).
+	hist := DegreeHistogram(g, sideV1)
+	var total, weighted float64
+	// Sorted traversal: cumulative form G = (2 Σ i·d₍ᵢ₎)/(n Σ d) − (n+1)/n.
+	i := 1
+	for d, cnt := range hist {
+		for c := int64(0); c < cnt; c++ {
+			total += float64(d)
+			weighted += float64(i) * float64(d)
+			i++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	nn := float64(n)
+	return 2*weighted/(nn*total) - (nn+1)/nn
+}

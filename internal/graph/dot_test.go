@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteDOT(&sb, k22(), "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`graph "test"`, "cluster_v1", "cluster_v2", "u0 -- v0;", "u1 -- v1;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, " -- ") != 4 {
+		t.Fatalf("edge count wrong:\n%s", out)
+	}
+	// Default name.
+	sb.Reset()
+	if err := WriteDOT(&sb, k22(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `graph "bipartite"`) {
+		t.Fatal("default name missing")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	b := NewBuilder(3, 2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.Build()
+	h1 := DegreeHistogram(g, true) // V1 degrees: 2, 1, 0
+	if len(h1) != 3 || h1[0] != 1 || h1[1] != 1 || h1[2] != 1 {
+		t.Fatalf("V1 histogram = %v", h1)
+	}
+	h2 := DegreeHistogram(g, false) // V2 degrees: 2, 1
+	if len(h2) != 3 || h2[1] != 1 || h2[2] != 1 {
+		t.Fatalf("V2 histogram = %v", h2)
+	}
+}
+
+func TestDegreeGini(t *testing.T) {
+	// Uniform degrees → Gini 0.
+	uniform := k22()
+	if g := DegreeGini(uniform, true); math.Abs(g) > 1e-9 {
+		t.Fatalf("uniform Gini = %f", g)
+	}
+	// A hub-and-spokes side is maximally skewed: Gini → (n-1)/n.
+	b := NewBuilder(4, 4)
+	for v := 0; v < 4; v++ {
+		b.AddEdge(0, v)
+	}
+	star := b.Build()
+	want := 3.0 / 4.0
+	if g := DegreeGini(star, true); math.Abs(g-want) > 1e-9 {
+		t.Fatalf("star Gini = %f, want %f", g, want)
+	}
+	// Empty side.
+	if g := DegreeGini(NewBuilder(0, 0).Build(), true); g != 0 {
+		t.Fatalf("empty Gini = %f", g)
+	}
+	// Edgeless side.
+	if g := DegreeGini(NewBuilder(3, 3).Build(), false); g != 0 {
+		t.Fatalf("edgeless Gini = %f", g)
+	}
+}
+
+func TestDegreeGiniMonotoneInSkew(t *testing.T) {
+	// More skewed distributions score higher.
+	even := NewBuilder(4, 4)
+	for i := 0; i < 4; i++ {
+		even.AddEdge(i, i)
+	}
+	flat := DegreeGini(even.Build(), true)
+
+	skewed := NewBuilder(4, 4)
+	skewed.AddEdge(0, 0)
+	skewed.AddEdge(0, 1)
+	skewed.AddEdge(0, 2)
+	skewed.AddEdge(1, 3)
+	sk := DegreeGini(skewed.Build(), true)
+	if sk <= flat {
+		t.Fatalf("skewed Gini %f not above flat %f", sk, flat)
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import "sort"
+
+// Order selects a vertex relabeling strategy. Degree ordering is the
+// optimization the paper's future-work section points at ([3], [12]):
+// processing low-degree wedge points first shrinks the accumulator
+// working set of the counting loops.
+type Order int
+
+const (
+	// OrderNatural keeps the input labeling.
+	OrderNatural Order = iota
+	// OrderDegreeAsc relabels so vertex 0 has the smallest degree.
+	OrderDegreeAsc
+	// OrderDegreeDesc relabels so vertex 0 has the largest degree.
+	OrderDegreeDesc
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderNatural:
+		return "natural"
+	case OrderDegreeAsc:
+		return "degree-asc"
+	case OrderDegreeDesc:
+		return "degree-desc"
+	default:
+		return "order(?)"
+	}
+}
+
+// permutationByDegree returns a permutation perm where perm[newID] =
+// oldID, ordered by the given degree function. Ties break by original
+// id, making the relabeling deterministic.
+func permutationByDegree(n int, deg func(int) int, asc bool) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(x, y int) bool {
+		dx, dy := deg(int(perm[x])), deg(int(perm[y]))
+		if dx != dy {
+			if asc {
+				return dx < dy
+			}
+			return dx > dy
+		}
+		return perm[x] < perm[y]
+	})
+	return perm
+}
+
+// Relabel returns a new graph with both vertex sets renumbered
+// according to the order, plus the permutations used
+// (permV1[newID] = oldID, and likewise for V2). OrderNatural returns
+// the receiver unchanged with identity permutations.
+func (g *Bipartite) Relabel(o Order) (h *Bipartite, permV1, permV2 []int32) {
+	m, n := g.NumV1(), g.NumV2()
+	switch o {
+	case OrderNatural:
+		permV1 = make([]int32, m)
+		permV2 = make([]int32, n)
+		for i := range permV1 {
+			permV1[i] = int32(i)
+		}
+		for j := range permV2 {
+			permV2[j] = int32(j)
+		}
+		return g, permV1, permV2
+	case OrderDegreeAsc:
+		permV1 = permutationByDegree(m, g.DegreeV1, true)
+		permV2 = permutationByDegree(n, g.DegreeV2, true)
+	case OrderDegreeDesc:
+		permV1 = permutationByDegree(m, g.DegreeV1, false)
+		permV2 = permutationByDegree(n, g.DegreeV2, false)
+	default:
+		panic("graph: unknown order")
+	}
+
+	// Invert: inv[oldID] = newID.
+	inv1 := make([]int32, m)
+	for newID, oldID := range permV1 {
+		inv1[oldID] = int32(newID)
+	}
+	inv2 := make([]int32, n)
+	for newID, oldID := range permV2 {
+		inv2[oldID] = int32(newID)
+	}
+
+	b := NewBuilder(m, n)
+	for u := 0; u < m; u++ {
+		for _, v := range g.adj.Row(u) {
+			b.AddEdge(int(inv1[u]), int(inv2[v]))
+		}
+	}
+	return b.Build(), permV1, permV2
+}

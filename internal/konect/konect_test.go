@@ -1,0 +1,284 @@
+package konect
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly/internal/gen"
+	"butterfly/internal/graph"
+)
+
+func TestReadGraphBasic(t *testing.T) {
+	in := `% bip unweighted
+% 4 2 3
+1 1
+1 2
+2 2
+2 3
+`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV1() != 2 || g.NumV2() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("parsed %s", g)
+	}
+	if !g.HasEdge(0, 0) || !g.HasEdge(1, 2) {
+		t.Fatal("edges missing")
+	}
+}
+
+func TestReadGraphWeightsAndTimestampsIgnored(t *testing.T) {
+	in := "1 1 5 1234567\n2\t2\t1\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestReadGraphSkipsCommentsAndBlank(t *testing.T) {
+	in := "% header\n\n# alt comment\n1 1\n\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestReadGraphDuplicatesCollapse(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("1 1\n1 1\n1 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := map[string]string{
+		"oneField": "1\n",
+		"badU":     "x 1\n",
+		"badV":     "1 y\n",
+		"zeroID":   "0 1\n",
+		"negative": "1 -2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestReadGraphEmpty(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("% nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV1() != 0 || g.NumV2() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty input parsed as %s", g)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	src := gen.ErdosRenyi(30, 40, 0.1, 77)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round trip preserves edges; trailing isolated vertices may be
+	// trimmed (KONECT infers sizes from max ids), so compare edge sets.
+	if back.NumEdges() != src.NumEdges() {
+		t.Fatalf("edges %d, want %d", back.NumEdges(), src.NumEdges())
+	}
+	for u := 0; u < back.NumV1(); u++ {
+		for _, v := range back.NeighborsOfV1(u) {
+			if !src.HasEdge(u, int(v)) {
+				t.Fatalf("phantom edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestWriteReadRoundTripExact(t *testing.T) {
+	// A graph whose max-id vertices have edges round-trips exactly.
+	b := graph.NewBuilder(3, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 0)
+	b.AddEdge(1, 2)
+	src := b.Build()
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(src) {
+		t.Fatal("exact round trip differs")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.test")
+	rng := rand.New(rand.NewSource(5))
+	b := graph.NewBuilder(10, 10)
+	for i := 0; i < 25; i++ {
+		b.AddEdge(rng.Intn(10), rng.Intn(10))
+	}
+	src := b.Build()
+	if err := WriteFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != src.NumEdges() {
+		t.Fatalf("edges %d, want %d", back.NumEdges(), src.NumEdges())
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestWriteFileBadPath(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), gen.Star(2)); err == nil {
+		t.Fatal("bad path did not error")
+	}
+	if _, err := os.Stat(filepath.Join(t.TempDir(), "f")); err == nil {
+		t.Fatal("unexpected file created")
+	}
+}
+
+// FuzzReadGraph checks the KONECT parser never panics and that accepted
+// inputs round-trip through the writer with the same edge set.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("% bip unweighted\n1 1\n2 3\n")
+	f.Add("1 1 5 123456\n")
+	f.Add("")
+	f.Add("0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to write: %v", err)
+		}
+		back, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("writer output rejected: %v", err)
+		}
+		if back.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip edges %d != %d", back.NumEdges(), g.NumEdges())
+		}
+	})
+}
+
+// failWriter fails after n bytes, exercising write error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errors.New("synthetic write failure")
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errors.New("synthetic write failure")
+	}
+	return n, nil
+}
+
+func TestWriteGraphWriterFailure(t *testing.T) {
+	g := gen.CompleteBipartite(20, 20)
+	for _, budget := range []int{0, 10, 100} {
+		if err := WriteGraph(&failWriter{left: budget}, g); err == nil {
+			t.Errorf("budget %d: write failure not propagated", budget)
+		}
+	}
+}
+
+// failReader errors mid-stream, exercising the scanner error path.
+type failReader struct {
+	data string
+	done bool
+}
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, errors.New("synthetic read failure")
+	}
+	r.done = true
+	return copy(p, r.data), nil
+}
+
+func TestReadGraphReaderFailure(t *testing.T) {
+	if _, err := ReadGraph(&failReader{data: "1 1\n2 2\n"}); err == nil {
+		t.Fatal("read failure not propagated")
+	}
+}
+
+func TestReadFileGzip(t *testing.T) {
+	src := gen.CompleteBipartite(4, 3)
+	var plain bytes.Buffer
+	if err := WriteGraph(&plain, src); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.test.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gz := gzip.NewWriter(f)
+	if _, err := gz.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 12 {
+		t.Fatalf("gzip read edges = %d, want 12", back.NumEdges())
+	}
+	// Corrupt gzip errors cleanly.
+	bad := filepath.Join(t.TempDir(), "bad.gz")
+	if err := os.WriteFile(bad, []byte{0x1f, 0x8b, 0xff, 0x00}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}

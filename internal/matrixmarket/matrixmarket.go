@@ -1,0 +1,186 @@
+// Package matrixmarket reads and writes bipartite graphs as
+// MatrixMarket coordinate files — the exchange format of sparse-matrix
+// collections (SuiteSparse, etc.), and the most common way biadjacency
+// matrices circulate outside KONECT.
+//
+// Supported dialect: "%%MatrixMarket matrix coordinate
+// <pattern|integer|real> general". Entries are 1-based (row ∈ V1,
+// column ∈ V2); explicit values are accepted and any non-zero is an
+// edge. Symmetric storage is rejected: a biadjacency matrix is
+// rectangular and inherently general.
+package matrixmarket
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"butterfly/internal/graph"
+)
+
+// Header is the parsed MatrixMarket banner plus size line.
+type Header struct {
+	Field    string // pattern | integer | real
+	Rows     int
+	Cols     int
+	Entries  int64
+	Comments []string
+}
+
+// ReadGraph parses a MatrixMarket coordinate file into a bipartite
+// graph (rows = V1, columns = V2).
+func ReadGraph(r io.Reader) (*graph.Bipartite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	h, err := readHeader(sc)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilder(h.Rows, h.Cols)
+	var seen int64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		minFields := 2
+		if h.Field != "pattern" {
+			minFields = 3
+		}
+		if len(fields) < minFields {
+			return nil, fmt.Errorf("matrixmarket: entry %d: want ≥%d fields, got %d", lineNo, minFields, len(fields))
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: entry %d: bad row %q", lineNo, fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("matrixmarket: entry %d: bad column %q", lineNo, fields[1])
+		}
+		if i < 1 || i > h.Rows || j < 1 || j > h.Cols {
+			return nil, fmt.Errorf("matrixmarket: entry %d: (%d,%d) outside %dx%d", lineNo, i, j, h.Rows, h.Cols)
+		}
+		if h.Field != "pattern" {
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrixmarket: entry %d: bad value %q", lineNo, fields[2])
+			}
+			if v == 0 {
+				seen++ // explicit zero: counted in the header, not an edge
+				continue
+			}
+		}
+		b.AddEdge(i-1, j-1)
+		seen++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrixmarket: read: %w", err)
+	}
+	if seen != h.Entries {
+		return nil, fmt.Errorf("matrixmarket: header promises %d entries, file has %d", h.Entries, seen)
+	}
+	return b.Build(), nil
+}
+
+func readHeader(sc *bufio.Scanner) (Header, error) {
+	var h Header
+	if !sc.Scan() {
+		return h, fmt.Errorf("matrixmarket: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(strings.TrimSpace(sc.Text())))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" {
+		return h, fmt.Errorf("matrixmarket: bad banner %q", sc.Text())
+	}
+	if banner[2] != "coordinate" {
+		return h, fmt.Errorf("matrixmarket: unsupported format %q (only coordinate)", banner[2])
+	}
+	h.Field = banner[3]
+	switch h.Field {
+	case "pattern", "integer", "real":
+	default:
+		return h, fmt.Errorf("matrixmarket: unsupported field %q", h.Field)
+	}
+	if banner[4] != "general" {
+		return h, fmt.Errorf("matrixmarket: unsupported symmetry %q (biadjacency is general)", banner[4])
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			h.Comments = append(h.Comments, line)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return h, fmt.Errorf("matrixmarket: bad size line %q", line)
+		}
+		var err error
+		if h.Rows, err = strconv.Atoi(fields[0]); err != nil || h.Rows < 0 {
+			return h, fmt.Errorf("matrixmarket: bad row count %q", fields[0])
+		}
+		if h.Cols, err = strconv.Atoi(fields[1]); err != nil || h.Cols < 0 {
+			return h, fmt.Errorf("matrixmarket: bad column count %q", fields[1])
+		}
+		if h.Entries, err = strconv.ParseInt(fields[2], 10, 64); err != nil || h.Entries < 0 {
+			return h, fmt.Errorf("matrixmarket: bad entry count %q", fields[2])
+		}
+		return h, nil
+	}
+	return h, fmt.Errorf("matrixmarket: missing size line")
+}
+
+// WriteGraph emits g as a coordinate-pattern MatrixMarket file.
+func WriteGraph(w io.Writer, g *graph.Bipartite) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern general\n%% bipartite biadjacency\n%d %d %d\n",
+		g.NumV1(), g.NumV2(), g.NumEdges()); err != nil {
+		return fmt.Errorf("matrixmarket: write header: %w", err)
+	}
+	for u := 0; u < g.NumV1(); u++ {
+		for _, v := range g.NeighborsOfV1(u) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", u+1, int(v)+1); err != nil {
+				return fmt.Errorf("matrixmarket: write entry: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("matrixmarket: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads a MatrixMarket file from disk.
+func ReadFile(path string) (*graph.Bipartite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("matrixmarket: %w", err)
+	}
+	defer f.Close()
+	return ReadGraph(f)
+}
+
+// WriteFile writes g to the named file.
+func WriteFile(path string, g *graph.Bipartite) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("matrixmarket: %w", err)
+	}
+	if err := WriteGraph(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("matrixmarket: close: %w", err)
+	}
+	return nil
+}

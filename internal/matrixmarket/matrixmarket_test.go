@@ -1,0 +1,212 @@
+package matrixmarket
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly/internal/gen"
+)
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 4 3
+1 1
+2 4
+3 2
+`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV1() != 3 || g.NumV2() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("parsed %s", g)
+	}
+	if !g.HasEdge(1, 3) {
+		t.Fatal("edge (2,4) missing")
+	}
+}
+
+func TestReadIntegerAndRealValues(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 3
+1 1 5
+1 2 0
+2 2 -1
+`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit zero is not an edge; non-zeros are.
+	if g.NumEdges() != 2 || g.HasEdge(0, 1) {
+		t.Fatalf("integer parse wrong: %s", g)
+	}
+
+	in = "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 0.5\n"
+	g, err = ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("real parse wrong")
+	}
+}
+
+func TestReadCaseInsensitiveBanner(t *testing.T) {
+	in := "%%MatrixMarket MATRIX Coordinate Pattern General\n1 1 1\n1 1\n"
+	if _, err := ReadGraph(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"badBanner":      "%%NotMM matrix coordinate pattern general\n1 1 1\n1 1\n",
+		"array":          "%%MatrixMarket matrix array real general\n1 1\n",
+		"symmetric":      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 1\n1 1\n",
+		"complexField":   "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"noSize":         "%%MatrixMarket matrix coordinate pattern general\n% only comments\n",
+		"badSize":        "%%MatrixMarket matrix coordinate pattern general\n1 1\n",
+		"negativeSize":   "%%MatrixMarket matrix coordinate pattern general\n-1 1 0\n",
+		"badRow":         "%%MatrixMarket matrix coordinate pattern general\n1 1 1\nx 1\n",
+		"badCol":         "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n1 y\n",
+		"outOfRange":     "%%MatrixMarket matrix coordinate pattern general\n1 1 1\n2 1\n",
+		"missingValue":   "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1\n",
+		"badValue":       "%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 z\n",
+		"countMismatch":  "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n",
+		"tooManyEntries": "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 1\n2 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	src := gen.PowerLawBipartite(25, 30, 150, 0.7, 0.7, 5)
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "%%MatrixMarket matrix coordinate pattern general") {
+		t.Fatalf("bad banner: %q", out[:60])
+	}
+	back, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumV1() != src.NumV1() || back.NumV2() != src.NumV2() || !back.Equal(src) {
+		t.Fatal("round trip differs")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	src := gen.CompleteBipartite(3, 2)
+	if err := WriteFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(src) {
+		t.Fatal("file round trip differs")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.mtx")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "no", "dir", "g.mtx"), src); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n0 0 0\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV1() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty matrix parsed wrong")
+	}
+}
+
+// FuzzReadGraph checks the parser never panics and that anything it
+// accepts round-trips through the writer to an equal graph.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 1\n1 1 3\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n1 1 1\n9 9\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to write: %v", err)
+		}
+		back, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("writer output rejected: %v", err)
+		}
+		if !back.Equal(g) {
+			t.Fatal("round trip changed graph")
+		}
+	})
+}
+
+// failWriter fails after n bytes.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errors.New("synthetic write failure")
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errors.New("synthetic write failure")
+	}
+	return n, nil
+}
+
+func TestWriteGraphWriterFailure(t *testing.T) {
+	g := gen.CompleteBipartite(20, 20)
+	for _, budget := range []int{0, 30, 200} {
+		if err := WriteGraph(&failWriter{left: budget}, g); err == nil {
+			t.Errorf("budget %d: write failure not propagated", budget)
+		}
+	}
+}
+
+type failReader struct {
+	data string
+	done bool
+}
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, errors.New("synthetic read failure")
+	}
+	r.done = true
+	return copy(p, r.data), nil
+}
+
+func TestReadGraphReaderFailure(t *testing.T) {
+	if _, err := ReadGraph(&failReader{data: "%%MatrixMarket matrix coordinate pattern general\n9 9 9\n1 1\n"}); err == nil {
+		t.Fatal("read failure not propagated")
+	}
+}

@@ -1,0 +1,338 @@
+package peel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/bitvec"
+	"butterfly/internal/core"
+	"butterfly/internal/dense"
+	"butterfly/internal/gen"
+	"butterfly/internal/graph"
+	"butterfly/internal/sparse"
+)
+
+func randGraphAndDense(rng *rand.Rand, maxSide int) (*dense.Matrix, *graph.Bipartite) {
+	m := rng.Intn(maxSide) + 1
+	n := rng.Intn(maxSide) + 1
+	d := dense.New(m, n)
+	p := 0.3 + 0.5*rng.Float64()
+	for i := range d.Data {
+		if rng.Float64() < p {
+			d.Data[i] = 1
+		}
+	}
+	g, err := graph.FromCSR(sparse.FromDense(d, true))
+	if err != nil {
+		panic(err)
+	}
+	return d, g
+}
+
+func TestKTipZeroKeepsGraph(t *testing.T) {
+	g := gen.PowerLawBipartite(50, 40, 200, 0.7, 0.7, 1)
+	if !KTipSubgraph(g, 0, core.SideV1).Equal(g) {
+		t.Fatal("0-tip should keep the whole graph")
+	}
+}
+
+func TestKTipCompleteBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(4, 4)
+	s := core.VertexButterflies(g, core.SideV1)[0]
+	if !KTipSubgraph(g, s, core.SideV1).Equal(g) {
+		t.Fatal("s-tip of K(4,4) should be the whole graph")
+	}
+	empty := KTipSubgraph(g, s+1, core.SideV1)
+	if empty.NumEdges() != 0 {
+		t.Fatalf("(s+1)-tip should be empty, has %d edges", empty.NumEdges())
+	}
+}
+
+func TestQuickKTipMatchesSpec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, g := randGraphAndDense(rng, 8)
+		for k := int64(0); k <= 4; k++ {
+			want := dense.SpecKTip(d, k)
+			got := sparse.ToDense(KTipSubgraph(g, k, core.SideV1).Adj())
+			if !got.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKTipLookAheadAgrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 10)
+		for k := int64(0); k <= 4; k++ {
+			for _, side := range []core.Side{core.SideV1, core.SideV2} {
+				if !KTipLookAhead(g, k, side).Equal(KTipSubgraph(g, k, side)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKTipSideV2MatchesTransposedV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, g := randGraphAndDense(rng, 9)
+	for k := int64(0); k <= 3; k++ {
+		a := KTipSubgraph(g, k, core.SideV2)
+		b := KTipSubgraph(g.Transposed(), k, core.SideV1).Transposed()
+		if !a.Equal(b) {
+			t.Fatalf("k=%d: V2-side tip differs from transposed V1-side tip", k)
+		}
+	}
+}
+
+// Every vertex surviving in the k-tip must indeed sit in ≥ k
+// butterflies of the k-tip (the defining property).
+func TestQuickKTipDefiningProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 10)
+		for k := int64(1); k <= 3; k++ {
+			h := KTipSubgraph(g, k, core.SideV1)
+			s := core.VertexButterflies(h, core.SideV1)
+			for u := 0; u < h.NumV1(); u++ {
+				if h.DegreeV1(u) > 0 && s[u] < k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWingZeroKeepsGraph(t *testing.T) {
+	g := gen.PowerLawBipartite(50, 40, 200, 0.7, 0.7, 2)
+	if !KWingSubgraph(g, 0).Equal(g) {
+		t.Fatal("0-wing should keep the whole graph")
+	}
+}
+
+func TestKWingCompleteBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(3, 5)
+	s := core.EdgeSupport(g).Val[0]
+	if !KWingSubgraph(g, s).Equal(g) {
+		t.Fatal("s-wing of complete graph should be whole graph")
+	}
+	if KWingSubgraph(g, s+1).NumEdges() != 0 {
+		t.Fatal("(s+1)-wing should be empty")
+	}
+}
+
+func TestQuickKWingMatchesSpec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d, g := randGraphAndDense(rng, 8)
+		for k := int64(0); k <= 4; k++ {
+			want := dense.SpecKWing(d, k)
+			got := sparse.ToDense(KWingSubgraph(g, k).Adj())
+			if !got.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every edge surviving in the k-wing supports ≥ k butterflies inside it.
+func TestQuickKWingDefiningProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 9)
+		for k := int64(1); k <= 3; k++ {
+			h := KWingSubgraph(g, k)
+			sup := core.EdgeSupport(h)
+			for _, v := range sup.Val {
+				if v < k {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tip numbers are exactly the thresholds at which vertices drop out of
+// k-tips.
+func TestQuickTipDecompositionConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 8)
+		tip := TipDecomposition(g, core.SideV1)
+		maxTip := int64(0)
+		for _, v := range tip {
+			if v > maxTip {
+				maxTip = v
+			}
+		}
+		for k := int64(0); k <= maxTip+1; k++ {
+			keep := bitvec.New(g.NumV1())
+			for u, tn := range tip {
+				if tn >= k {
+					keep.Set(u)
+				}
+			}
+			want := KTipSubgraph(g, k, core.SideV1)
+			got := g.InducedSubgraph(keep, nil)
+			if !got.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Wing numbers are exactly the thresholds at which edges drop out of
+// k-wings.
+func TestQuickWingDecompositionConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 7)
+		wing := WingDecomposition(g)
+		maxWing := int64(0)
+		for _, v := range wing {
+			if v > maxWing {
+				maxWing = v
+			}
+		}
+		adj := g.Adj()
+		for k := int64(0); k <= maxWing+1; k++ {
+			kept := sparse.PatternOf(sparse.Select(adj, func(i int, j int32, _ int64) bool {
+				e, ok := edgeID(adj, i, j)
+				return ok && wing[e] >= k
+			}))
+			got, err := graph.FromCSR(kept)
+			if err != nil {
+				return false
+			}
+			if !got.Equal(KWingSubgraph(g, k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTipDecompositionCompleteBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(4, 5)
+	s := core.VertexButterflies(g, core.SideV1)[0]
+	for u, tn := range TipDecomposition(g, core.SideV1) {
+		if tn != s {
+			t.Fatalf("tip number of u%d = %d, want %d (uniform graph)", u, tn, s)
+		}
+	}
+}
+
+func TestWingDecompositionCompleteBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(4, 4)
+	s := core.EdgeSupport(g).Val[0]
+	for e, wn := range WingDecomposition(g) {
+		if wn != s {
+			t.Fatalf("wing number of edge %d = %d, want %d", e, wn, s)
+		}
+	}
+}
+
+func TestWingDecompositionButterflyFree(t *testing.T) {
+	g := gen.Star(6)
+	for _, wn := range WingDecomposition(g) {
+		if wn != 0 {
+			t.Fatal("star edges must have wing number 0")
+		}
+	}
+	tip := TipDecomposition(g, core.SideV1)
+	if tip[0] != 0 {
+		t.Fatal("star hub must have tip number 0")
+	}
+}
+
+func TestWingNumbersByEdge(t *testing.T) {
+	g := gen.CompleteBipartite(2, 2)
+	wing := WingDecomposition(g)
+	byEdge := WingNumbersByEdge(g, wing)
+	if len(byEdge) != 4 {
+		t.Fatalf("map has %d edges, want 4", len(byEdge))
+	}
+	for e, wn := range byEdge {
+		if wn != 1 {
+			t.Fatalf("edge %+v wing = %d, want 1", e, wn)
+		}
+	}
+}
+
+// Nesting: higher k never keeps more structure.
+func TestQuickPeelingMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 9)
+		prevTip := KTipSubgraph(g, 0, core.SideV1)
+		prevWing := KWingSubgraph(g, 0)
+		for k := int64(1); k <= 3; k++ {
+			curTip := KTipSubgraph(g, k, core.SideV1)
+			curWing := KWingSubgraph(g, k)
+			if curTip.NumEdges() > prevTip.NumEdges() || curWing.NumEdges() > prevWing.NumEdges() {
+				return false
+			}
+			prevTip, prevWing = curTip, curWing
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeHelpers(t *testing.T) {
+	g := gen.CompleteBipartite(3, 3)
+	adj := g.Adj()
+	if row := edgeRowOf(adj, 4); row != 1 {
+		t.Fatalf("edgeRowOf(4) = %d, want 1", row)
+	}
+	id, ok := edgeID(adj, 2, 1)
+	if !ok || id != adj.Ptr[2]+1 {
+		t.Fatalf("edgeID(2,1) = %d,%v", id, ok)
+	}
+	if _, ok := edgeID(adj, 2, 5); ok {
+		t.Fatal("edgeID found a non-edge")
+	}
+	count := 0
+	forEachCommonNeighbor(adj, 0, 1, func(p int32, eup, ewp int64) {
+		if adj.Col[eup] != p || adj.Col[ewp] != p {
+			t.Fatal("edge ids do not match neighbor")
+		}
+		count++
+	})
+	if count != 3 {
+		t.Fatalf("common neighbors = %d, want 3", count)
+	}
+}

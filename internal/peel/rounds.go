@@ -1,0 +1,84 @@
+package peel
+
+import (
+	"butterfly/internal/core"
+	"butterfly/internal/graph"
+)
+
+// TipDecompositionRounds computes the same tip numbers as
+// TipDecomposition with round-synchronous peeling: every round removes
+// *all* vertices whose current butterfly count is at or below the
+// running level and recomputes the survivors' counts with `threads`
+// workers. This is the bulk-parallel peeling structure of ParButterfly
+// [12]; peeling is confluent, so the resulting tip numbers are
+// identical to the heap-ordered sequential ones (asserted by tests).
+//
+// Trade-off versus TipDecomposition: each round recomputes counts in
+// O(wedges of the surviving subgraph) but rounds are internally
+// parallel; the heap version does minimal incremental work but is
+// inherently sequential. Graphs with few peeling levels (most
+// real-world bipartite networks) favor rounds.
+func TipDecompositionRounds(g *graph.Bipartite, side core.Side, threads int) []int64 {
+	n := g.NumV1()
+	if side == core.SideV2 {
+		n = g.NumV2()
+	}
+	active := make([]bool, n)
+	remaining := 0
+	for i := range active {
+		active[i] = true
+		remaining++
+	}
+	tip := make([]int64, n)
+	var level int64
+
+	for remaining > 0 {
+		s := core.VertexButterfliesMaskedParallel(g, side, active, threads)
+		// Find the minimum count among active vertices.
+		min := int64(-1)
+		for u, a := range active {
+			if a && (min < 0 || s[u] < min) {
+				min = s[u]
+			}
+		}
+		if min > level {
+			level = min
+		}
+		// Peel everything at or below the level.
+		for u, a := range active {
+			if a && s[u] <= level {
+				tip[u] = level
+				active[u] = false
+				remaining--
+			}
+		}
+	}
+	return tip
+}
+
+// KTipParallel is KTipSubgraph with the per-iteration butterfly vector
+// computed by `threads` workers. Results are identical to KTipSubgraph.
+func KTipParallel(g *graph.Bipartite, k int64, side core.Side, threads int) *graph.Bipartite {
+	n := g.NumV1()
+	if side == core.SideV2 {
+		n = g.NumV2()
+	}
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	for {
+		s := core.VertexButterfliesMaskedParallel(g, side, active, threads)
+		changed := false
+		for u := range active {
+			if active[u] && s[u] < k {
+				active[u] = false
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return maskSide(g, side, active)
+}

@@ -1,0 +1,155 @@
+package peel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"butterfly/internal/core"
+	"butterfly/internal/gen"
+)
+
+// Round-synchronous peeling must produce the same tip numbers as the
+// heap-ordered sequential decomposition (confluence).
+func TestQuickTipRoundsMatchSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 9)
+		for _, side := range []core.Side{core.SideV1, core.SideV2} {
+			want := TipDecomposition(g, side)
+			for _, threads := range []int{1, 3} {
+				got := TipDecompositionRounds(g, side, threads)
+				for i := range want {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTipRoundsMediumGraph(t *testing.T) {
+	g := gen.PowerLawBipartite(300, 250, 2000, 0.7, 0.7, 3)
+	want := TipDecomposition(g, core.SideV1)
+	got := TipDecompositionRounds(g, core.SideV1, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("vertex %d: rounds %d, sequential %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTipRoundsEmptyAndButterflyFree(t *testing.T) {
+	for _, tip := range TipDecompositionRounds(gen.Star(5), core.SideV2, 2) {
+		if tip != 0 {
+			t.Fatal("star leaves should have tip 0")
+		}
+	}
+	empty := TipDecompositionRounds(gen.CompleteBipartite(0, 0), core.SideV1, 2)
+	if len(empty) != 0 {
+		t.Fatal("empty graph should give empty tips")
+	}
+}
+
+func TestQuickKTipParallelMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 9)
+		for k := int64(0); k <= 3; k++ {
+			for _, side := range []core.Side{core.SideV1, core.SideV2} {
+				if !KTipParallel(g, k, side, 4).Equal(KTipSubgraph(g, k, side)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaskedParallelMatchesMasked(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 12)
+		active := make([]bool, g.NumV1())
+		for i := range active {
+			active[i] = rng.Intn(4) > 0
+		}
+		want := core.VertexButterfliesMasked(g, core.SideV1, active)
+		got := core.VertexButterfliesMaskedParallel(g, core.SideV1, active, 3)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWingRoundsMatchSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 8)
+		want := WingDecomposition(g)
+		for _, threads := range []int{1, 3} {
+			got := WingDecompositionRounds(g, threads)
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWingRoundsMediumGraph(t *testing.T) {
+	g := gen.PowerLawBipartite(120, 100, 900, 0.7, 0.7, 13)
+	want := WingDecomposition(g)
+	got := WingDecompositionRounds(g, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: rounds %d, heap %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuickKWingParallelMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		_, g := randGraphAndDense(rng, 8)
+		for k := int64(0); k <= 3; k++ {
+			if !KWingParallel(g, k, 3).Equal(KWingSubgraph(g, k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWingRoundsEmpty(t *testing.T) {
+	if got := WingDecompositionRounds(gen.CompleteBipartite(0, 0), 2); len(got) != 0 {
+		t.Fatal("empty graph should give empty wing numbers")
+	}
+	for _, wn := range WingDecompositionRounds(gen.Star(4), 2) {
+		if wn != 0 {
+			t.Fatal("butterfly-free edges must have wing 0")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package peel
+
+import (
+	"sort"
+
+	"butterfly/internal/core"
+	"butterfly/internal/graph"
+	"butterfly/internal/sparse"
+)
+
+// KWingSubgraph returns the k-wing of g: the maximal subgraph in which
+// every remaining edge is contained in at least k butterflies. It runs
+// the paper's iterative formulation (25)–(27): compute the support
+// matrix S_w, keep edges with support ≥ k (the mask M of (26) applied
+// as the Hadamard product (27)), repeat to a fixpoint.
+func KWingSubgraph(g *graph.Bipartite, k int64) *graph.Bipartite {
+	cur := g
+	for {
+		sw := core.EdgeSupport(cur)
+		kept := sparse.PatternOf(sparse.Select(sw, func(_ int, _ int32, v int64) bool {
+			return v >= k
+		}))
+		if kept.NNZ() == cur.NumEdges() {
+			return cur
+		}
+		next, err := graph.FromCSR(kept)
+		if err != nil {
+			panic("peel: internal error rebuilding k-wing graph: " + err.Error())
+		}
+		// Preserve the original shape: FromCSR keeps dimensions, since
+		// Select never drops rows/columns, only entries.
+		cur = next
+	}
+}
+
+// WingDecomposition returns the wing number of every edge of g, in the
+// flat CSR edge order of g.Adj() (edge id = Ptr[u] + offset): the
+// largest k such that the edge survives in the k-wing.
+//
+// Edges are peeled in non-decreasing support order. Removing edge
+// (u, v) destroys exactly the butterflies containing it; each such
+// butterfly {u, w} × {v, p} decrements the supports of its other three
+// edges (w,v), (u,p), (w,p). Butterflies containing (u, v) are
+// enumerated by intersecting N(u) with N(w) for each co-neighbor w of
+// v, skipping dead edges.
+func WingDecomposition(g *graph.Bipartite) []int64 {
+	adj, adjT := g.Adj(), g.AdjT()
+	nnz := adj.NNZ()
+
+	sup := append([]int64(nil), core.EdgeSupport(g).Val...)
+	wing := make([]int64, nnz)
+	dead := make([]bool, nnz)
+	h := newLazyMin(sup)
+
+	var level int64
+	for {
+		key, id, ok := h.popCurrent(sup, dead)
+		if !ok {
+			break
+		}
+		e := int(id)
+		if key > level {
+			level = key
+		}
+		wing[e] = level
+		dead[e] = true
+
+		u := edgeRowOf(adj, e)
+		v := adj.Col[e]
+		// Every butterfly {u,w} × {v,p} through the dying edge loses its
+		// other three edges one unit of support.
+		for _, w := range adjT.Row(int(v)) {
+			if w == int32(u) {
+				continue
+			}
+			ewv, ok := edgeID(adj, int(w), v)
+			if !ok || dead[ewv] {
+				continue
+			}
+			forEachCommonNeighbor(adj, u, int(w), func(p int32, eup, ewp int64) {
+				if p == v || dead[eup] || dead[ewp] {
+					return
+				}
+				decr(sup, h, ewv)
+				decr(sup, h, eup)
+				decr(sup, h, ewp)
+			})
+		}
+	}
+	return wing
+}
+
+// decr lowers an edge's support, clamping at zero, and re-keys it.
+func decr(sup []int64, h *lazyMin, e int64) {
+	if sup[e] > 0 {
+		sup[e]--
+		h.push(sup[e], e)
+	}
+}
+
+// edgeRowOf finds the row of flat edge index e by binary search on the
+// row pointer.
+func edgeRowOf(a *sparse.CSR, e int) int {
+	return sort.Search(a.R, func(i int) bool { return a.Ptr[i+1] > int64(e) })
+}
+
+// edgeID returns the flat edge index of (u, v), if present.
+func edgeID(a *sparse.CSR, u int, v int32) (int64, bool) {
+	row := a.Row(u)
+	k := sort.Search(len(row), func(i int) bool { return row[i] >= v })
+	if k < len(row) && row[k] == v {
+		return a.Ptr[u] + int64(k), true
+	}
+	return 0, false
+}
+
+// forEachCommonNeighbor merges the sorted neighbor rows of u and w and
+// calls fn for every common neighbor p with the flat ids of edges
+// (u, p) and (w, p).
+func forEachCommonNeighbor(a *sparse.CSR, u, w int, fn func(p int32, eup, ewp int64)) {
+	ru, rw := a.Row(u), a.Row(w)
+	bu, bw := a.Ptr[u], a.Ptr[w]
+	x, y := 0, 0
+	for x < len(ru) && y < len(rw) {
+		switch {
+		case ru[x] < rw[y]:
+			x++
+		case ru[x] > rw[y]:
+			y++
+		default:
+			fn(ru[x], bu+int64(x), bw+int64(y))
+			x++
+			y++
+		}
+	}
+}
+
+// WingNumbersByEdge converts a flat wing-number vector into a map keyed
+// by (u, v) edges, convenient for presentation layers.
+func WingNumbersByEdge(g *graph.Bipartite, wing []int64) map[graph.Edge]int64 {
+	adj := g.Adj()
+	out := make(map[graph.Edge]int64, len(wing))
+	for u := 0; u < adj.R; u++ {
+		for k := adj.Ptr[u]; k < adj.Ptr[u+1]; k++ {
+			out[graph.Edge{U: int32(u), V: adj.Col[k]}] = wing[k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DupPolicy says how the COO builder combines duplicate (i, j) entries.
+type DupPolicy int
+
+const (
+	// DupSum adds duplicate values (the default GraphBLAS build).
+	DupSum DupPolicy = iota
+	// DupBinary keeps a single entry with value 1 regardless of the
+	// duplicate values — the right policy for adjacency patterns of
+	// simple graphs.
+	DupBinary
+)
+
+// COO is an append-only coordinate-format builder for sparse matrices.
+type COO struct {
+	R, C int
+	I, J []int32
+	V    []int64 // nil until a value is appended; pattern otherwise
+}
+
+// NewCOO returns an empty builder for an r×c matrix.
+func NewCOO(r, c int) *COO {
+	if r < 0 || c < 0 {
+		panic("sparse: negative COO dimension " + dims(r, c))
+	}
+	return &COO{R: r, C: c}
+}
+
+// Add appends a pattern entry (value 1) at (i, j).
+func (b *COO) Add(i, j int) { b.AddVal(i, j, 1) }
+
+// AddVal appends an entry with an explicit value.
+func (b *COO) AddVal(i, j int, v int64) {
+	if i < 0 || i >= b.R || j < 0 || j >= b.C {
+		panic(fmt.Sprintf("sparse: COO entry (%d,%d) out of range %s", i, j, dims(b.R, b.C)))
+	}
+	if b.V == nil && v != 1 {
+		// Materialize values for all previous implicit-1 entries.
+		b.V = make([]int64, len(b.I), cap(b.I))
+		for k := range b.V {
+			b.V[k] = 1
+		}
+	}
+	b.I = append(b.I, int32(i))
+	b.J = append(b.J, int32(j))
+	if b.V != nil {
+		b.V = append(b.V, v)
+	}
+}
+
+// Len returns the number of appended entries (before dedup).
+func (b *COO) Len() int { return len(b.I) }
+
+// ToCSR sorts, deduplicates and compresses the builder into CSR form.
+// The builder remains usable afterwards.
+func (b *COO) ToCSR(dup DupPolicy) *CSR {
+	n := len(b.I)
+	order := make([]int32, n)
+	for k := range order {
+		order[k] = int32(k)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		kx, ky := order[x], order[y]
+		if b.I[kx] != b.I[ky] {
+			return b.I[kx] < b.I[ky]
+		}
+		return b.J[kx] < b.J[ky]
+	})
+
+	out := &CSR{R: b.R, C: b.C, Ptr: make([]int64, b.R+1)}
+	out.Col = make([]int32, 0, n)
+	// DupSum must materialize values even for an implicit-1 builder:
+	// duplicate pattern entries sum to their multiplicity.
+	hasVals := dup == DupSum
+	if hasVals {
+		out.Val = make([]int64, 0, n)
+	}
+
+	for k := 0; k < n; {
+		idx := order[k]
+		i, j := b.I[idx], b.J[idx]
+		var v int64 = 1
+		if b.V != nil {
+			v = b.V[idx]
+		}
+		k++
+		for k < n {
+			next := order[k]
+			if b.I[next] != i || b.J[next] != j {
+				break
+			}
+			if dup == DupSum {
+				if b.V != nil {
+					v += b.V[next]
+				} else {
+					v++
+				}
+			}
+			k++
+		}
+		out.Ptr[i+1]++
+		out.Col = append(out.Col, j)
+		if hasVals {
+			out.Val = append(out.Val, v)
+		}
+	}
+	for i := 0; i < b.R; i++ {
+		out.Ptr[i+1] += out.Ptr[i]
+	}
+	return out
+}
+
+// ToCSC builds CSC form directly (via the transpose reinterpretation).
+func (b *COO) ToCSC(dup DupPolicy) *CSC {
+	t := &COO{R: b.C, C: b.R, I: b.J, J: b.I, V: b.V}
+	return CSCFromCSRTranspose(t.ToCSR(dup))
+}

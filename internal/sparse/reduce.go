@@ -1,0 +1,122 @@
+package sparse
+
+import "fmt"
+
+// SumAll returns Σᵢⱼ a(i,j) over stored entries.
+func SumAll(a *CSR) int64 {
+	if a.Val == nil {
+		return a.NNZ()
+	}
+	var s int64
+	for _, v := range a.Val {
+		s += v
+	}
+	return s
+}
+
+// Trace returns Γ(a) = Σᵢ a(i,i). Panics if a is not square.
+func Trace(a *CSR) int64 {
+	if a.R != a.C {
+		panic(fmt.Sprintf("sparse: Trace of non-square %s", dims(a.R, a.C)))
+	}
+	var t int64
+	for i := 0; i < a.R; i++ {
+		t += a.At(i, i)
+	}
+	return t
+}
+
+// Diag returns the main diagonal of a square matrix as a dense vector.
+func Diag(a *CSR) []int64 {
+	if a.R != a.C {
+		panic(fmt.Sprintf("sparse: Diag of non-square %s", dims(a.R, a.C)))
+	}
+	d := make([]int64, a.R)
+	for i := 0; i < a.R; i++ {
+		d[i] = a.At(i, i)
+	}
+	return d
+}
+
+// RowSums returns the per-row sums of stored values.
+func RowSums(a *CSR) []int64 {
+	s := make([]int64, a.R)
+	for i := 0; i < a.R; i++ {
+		if a.Val == nil {
+			s[i] = int64(a.RowDeg(i))
+			continue
+		}
+		for _, v := range a.RowVals(i) {
+			s[i] += v
+		}
+	}
+	return s
+}
+
+// ColSums returns the per-column sums of stored values.
+func ColSums(a *CSR) []int64 {
+	s := make([]int64, a.C)
+	for i := 0; i < a.R; i++ {
+		row := a.Row(i)
+		vals := a.RowVals(i)
+		for k, j := range row {
+			v := int64(1)
+			if vals != nil {
+				v = vals[k]
+			}
+			s[j] += v
+		}
+	}
+	return s
+}
+
+// RowDegrees returns the stored-entry count of each row (the V1 degree
+// vector when a is a biadjacency pattern).
+func RowDegrees(a *CSR) []int64 {
+	d := make([]int64, a.R)
+	for i := 0; i < a.R; i++ {
+		d[i] = int64(a.RowDeg(i))
+	}
+	return d
+}
+
+// ColDegrees returns the stored-entry count of each column.
+func ColDegrees(a *CSR) []int64 {
+	d := make([]int64, a.C)
+	for _, j := range a.Col {
+		d[j]++
+	}
+	return d
+}
+
+// Reduce folds all stored values through the monoid.
+func Reduce(a *CSR, m Monoid) int64 {
+	acc := m.Identity
+	if a.Val == nil {
+		for i := int64(0); i < a.NNZ(); i++ {
+			acc = m.Op(acc, 1)
+		}
+		return acc
+	}
+	for _, v := range a.Val {
+		acc = m.Op(acc, v)
+	}
+	return acc
+}
+
+// MaxValue returns the largest stored value, or 0 for an empty matrix.
+func MaxValue(a *CSR) int64 {
+	if a.NNZ() == 0 {
+		return 0
+	}
+	if a.Val == nil {
+		return 1
+	}
+	best := a.Val[0]
+	for _, v := range a.Val[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,35 @@
+package butterfly
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the wire form of a Graph: explicit sizes plus the edge
+// list, so isolated trailing vertices survive a round trip (unlike the
+// KONECT format, which infers sizes from maximum ids).
+type graphJSON struct {
+	V1    int      `json:"v1"`
+	V2    int      `json:"v2"`
+	Edges [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {"v1":…,"v2":…,"edges":[[u,v],…]}.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	return json.Marshal(graphJSON{V1: g.NumV1(), V2: g.NumV2(), Edges: g.Edges()})
+}
+
+// UnmarshalJSON decodes the MarshalJSON form, validating sizes and
+// edge endpoints.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var w graphJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("butterfly: %w", err)
+	}
+	decoded, err := FromEdges(w.V1, w.V2, w.Edges)
+	if err != nil {
+		return err
+	}
+	g.g = decoded.g
+	return nil
+}

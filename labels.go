@@ -1,0 +1,109 @@
+package butterfly
+
+import "fmt"
+
+// LabeledBuilder accumulates edges between string-identified vertices,
+// interning labels into dense integer ids — the usual shape of
+// real-world input (author names × paper titles, users × products).
+// Vertex-set sizes need not be known up front.
+type LabeledBuilder struct {
+	idx1, idx2     map[string]int
+	names1, names2 []string
+	edges          [][2]int
+}
+
+// NewLabeledBuilder returns an empty builder.
+func NewLabeledBuilder() *LabeledBuilder {
+	return &LabeledBuilder{idx1: map[string]int{}, idx2: map[string]int{}}
+}
+
+// AddEdge records an edge between the V1 vertex labeled u and the V2
+// vertex labeled v, interning unseen labels. Duplicates collapse at
+// Build time.
+func (b *LabeledBuilder) AddEdge(u, v string) *LabeledBuilder {
+	ui, ok := b.idx1[u]
+	if !ok {
+		ui = len(b.names1)
+		b.idx1[u] = ui
+		b.names1 = append(b.names1, u)
+	}
+	vi, ok := b.idx2[v]
+	if !ok {
+		vi = len(b.names2)
+		b.idx2[v] = vi
+		b.names2 = append(b.names2, v)
+	}
+	b.edges = append(b.edges, [2]int{ui, vi})
+	return b
+}
+
+// Len returns the number of recorded edge events (before dedup).
+func (b *LabeledBuilder) Len() int { return len(b.edges) }
+
+// Build finalizes the labeled graph.
+func (b *LabeledBuilder) Build() (*LabeledGraph, error) {
+	g, err := FromEdges(len(b.names1), len(b.names2), b.edges)
+	if err != nil {
+		return nil, err
+	}
+	return &LabeledGraph{
+		Graph:  g,
+		names1: append([]string(nil), b.names1...),
+		names2: append([]string(nil), b.names2...),
+		idx1:   copyIndex(b.idx1),
+		idx2:   copyIndex(b.idx2),
+	}, nil
+}
+
+func copyIndex(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// LabeledGraph is a Graph whose vertices carry string labels. All
+// Graph methods are available; ids in their results translate back
+// through LabelV1/LabelV2.
+type LabeledGraph struct {
+	*Graph
+	names1, names2 []string
+	idx1, idx2     map[string]int
+}
+
+// LabelV1 returns the label of V1 vertex id.
+func (g *LabeledGraph) LabelV1(id int) (string, error) {
+	if id < 0 || id >= len(g.names1) {
+		return "", fmt.Errorf("butterfly: V1 id %d out of range [0,%d)", id, len(g.names1))
+	}
+	return g.names1[id], nil
+}
+
+// LabelV2 returns the label of V2 vertex id.
+func (g *LabeledGraph) LabelV2(id int) (string, error) {
+	if id < 0 || id >= len(g.names2) {
+		return "", fmt.Errorf("butterfly: V2 id %d out of range [0,%d)", id, len(g.names2))
+	}
+	return g.names2[id], nil
+}
+
+// IDV1 returns the id of the V1 vertex with the given label.
+func (g *LabeledGraph) IDV1(label string) (int, bool) {
+	id, ok := g.idx1[label]
+	return id, ok
+}
+
+// IDV2 returns the id of the V2 vertex with the given label.
+func (g *LabeledGraph) IDV2(label string) (int, bool) {
+	id, ok := g.idx2[label]
+	return id, ok
+}
+
+// HasEdgeLabeled reports whether the edge between the labeled vertices
+// exists; unknown labels are simply absent edges.
+func (g *LabeledGraph) HasEdgeLabeled(u, v string) bool {
+	ui, ok1 := g.idx1[u]
+	vi, ok2 := g.idx2[v]
+	return ok1 && ok2 && g.HasEdge(ui, vi)
+}

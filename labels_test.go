@@ -1,0 +1,88 @@
+package butterfly
+
+import "testing"
+
+func TestLabeledBuilder(t *testing.T) {
+	b := NewLabeledBuilder().
+		AddEdge("alice", "go").
+		AddEdge("alice", "graphs").
+		AddEdge("bob", "go").
+		AddEdge("bob", "graphs").
+		AddEdge("alice", "go") // duplicate
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV1() != 2 || g.NumV2() != 2 || g.NumEdges() != 4 {
+		t.Fatalf("shape: %s", g.Graph)
+	}
+	if g.Count() != 1 {
+		t.Fatalf("Count = %d", g.Count())
+	}
+
+	id, ok := g.IDV1("alice")
+	if !ok || id != 0 {
+		t.Fatalf("IDV1(alice) = %d, %v", id, ok)
+	}
+	if _, ok := g.IDV1("carol"); ok {
+		t.Fatal("unknown label found")
+	}
+	name, err := g.LabelV2(1)
+	if err != nil || name != "graphs" {
+		t.Fatalf("LabelV2(1) = %q, %v", name, err)
+	}
+	if _, err := g.LabelV1(9); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := g.LabelV2(-1); err == nil {
+		t.Fatal("negative label accepted")
+	}
+
+	if !g.HasEdgeLabeled("alice", "go") {
+		t.Fatal("labeled edge missing")
+	}
+	if g.HasEdgeLabeled("carol", "go") || g.HasEdgeLabeled("alice", "chess") {
+		t.Fatal("phantom labeled edge")
+	}
+}
+
+func TestLabeledGraphComposesWithAnalysis(t *testing.T) {
+	// All Graph methods are promoted: run a peel on a labeled graph and
+	// translate the result back to labels.
+	b := NewLabeledBuilder()
+	for _, u := range []string{"u1", "u2", "u3"} {
+		for _, v := range []string{"v1", "v2", "v3"} {
+			b.AddEdge(u, v)
+		}
+	}
+	b.AddEdge("loner", "v1")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip, err := g.KTip(1, V1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lonerID, _ := g.IDV1("loner")
+	if tip.DegreeV1(lonerID) != 0 {
+		t.Fatal("loner should be peeled from the 1-tip")
+	}
+	u1, _ := g.IDV1("u1")
+	if tip.DegreeV1(u1) == 0 {
+		t.Fatal("biclique member should survive")
+	}
+}
+
+func TestLabeledBuilderEmpty(t *testing.T) {
+	g, err := NewLabeledBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumV1() != 0 || g.NumEdges() != 0 || g.Count() != 0 {
+		t.Fatal("empty labeled graph wrong")
+	}
+}

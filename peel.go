@@ -1,0 +1,167 @@
+package butterfly
+
+import (
+	"fmt"
+	"runtime"
+
+	"butterfly/internal/peel"
+)
+
+// KTip returns the k-tip subgraph with respect to the given side: the
+// maximal subgraph in which every non-isolated vertex of that side
+// participates in at least k butterflies. Vertex ids are preserved;
+// peeled vertices become isolated (the paper's masking semantics,
+// equations (19)–(22)).
+func (g *Graph) KTip(k int64, side Side) (*Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("butterfly: negative k %d", k)
+	}
+	s, err := side.internal()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: peel.KTipSubgraph(g.g, k, s)}, nil
+}
+
+// KTipLookAhead computes the same k-tip with the paper's fused
+// look-ahead algorithm (Fig 8, KTIP_UNB_VAR1), which applies the mask
+// while the butterfly vector is still being computed. The result is
+// identical to KTip; the variant exists because its single fused sweep
+// has different performance characteristics.
+func (g *Graph) KTipLookAhead(k int64, side Side) (*Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("butterfly: negative k %d", k)
+	}
+	s, err := side.internal()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: peel.KTipLookAhead(g.g, k, s)}, nil
+}
+
+// KWing returns the k-wing subgraph: the maximal subgraph in which
+// every remaining edge lies in at least k butterflies (equations
+// (25)–(27)).
+func (g *Graph) KWing(k int64) (*Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("butterfly: negative k %d", k)
+	}
+	return &Graph{g: peel.KWingSubgraph(g.g, k)}, nil
+}
+
+// TipNumbers returns, for every vertex of the chosen side, the largest
+// k such that the vertex survives in the k-tip (its "tip number").
+// Computed with a single peeling pass rather than one KTip call per k.
+func (g *Graph) TipNumbers(side Side) ([]int64, error) {
+	s, err := side.internal()
+	if err != nil {
+		return nil, err
+	}
+	return peel.TipDecomposition(g.g, s), nil
+}
+
+// KTipParallel is KTip with the per-iteration butterfly vector
+// computed by `threads` workers (GOMAXPROCS if ≤ 0); the result is
+// identical to KTip.
+func (g *Graph) KTipParallel(k int64, side Side, threads int) (*Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("butterfly: negative k %d", k)
+	}
+	s, err := side.internal()
+	if err != nil {
+		return nil, err
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Graph{g: peel.KTipParallel(g.g, k, s, threads)}, nil
+}
+
+// TipNumbersRounds computes the same tip numbers as TipNumbers with
+// round-synchronous (bulk-parallel) peeling: each round removes every
+// vertex at or below the current level and recomputes survivors with
+// `threads` workers. Identical results; different scaling profile —
+// rounds win when the peeling hierarchy is shallow.
+func (g *Graph) TipNumbersRounds(side Side, threads int) ([]int64, error) {
+	s, err := side.internal()
+	if err != nil {
+		return nil, err
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return peel.TipDecompositionRounds(g.g, s, threads), nil
+}
+
+// WingNumbers returns the wing number of every edge — the largest k
+// such that the edge survives in the k-wing — as (u, v, count) tuples
+// in row-major edge order.
+func (g *Graph) WingNumbers() []EdgeCount {
+	return g.wingNumbersFrom(peel.WingDecomposition(g.g))
+}
+
+// WingNumbersRounds computes the same wing numbers with
+// round-synchronous peeling whose per-round support recomputation uses
+// `threads` workers (GOMAXPROCS if ≤ 0). Identical results; rounds win
+// when the peeling hierarchy is shallow.
+func (g *Graph) WingNumbersRounds(threads int) []EdgeCount {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return g.wingNumbersFrom(peel.WingDecompositionRounds(g.g, threads))
+}
+
+// KWingParallel is KWing with each iteration's support matrix computed
+// by `threads` workers (GOMAXPROCS if ≤ 0).
+func (g *Graph) KWingParallel(k int64, threads int) (*Graph, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("butterfly: negative k %d", k)
+	}
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Graph{g: peel.KWingParallel(g.g, k, threads)}, nil
+}
+
+// DensestSubgraph holds the result of DensestByButterflies.
+type DensestSubgraph struct {
+	// Keep marks the surviving vertices of the peeled side; feed it to
+	// InducedSubgraph to materialize the subgraph.
+	Keep []bool
+	// Butterflies and Vertices of the selected subgraph; Density is
+	// their ratio.
+	Butterflies int64
+	Vertices    int
+	Density     float64
+}
+
+// DensestByButterflies greedily peels minimum-butterfly vertices of
+// the chosen side (the tip-decomposition order) and returns the prefix
+// maximizing butterflies per retained vertex — the dense-region
+// extraction the paper's abstract motivates. On a planted biclique it
+// recovers the block exactly.
+func (g *Graph) DensestByButterflies(side Side) (DensestSubgraph, error) {
+	s, err := side.internal()
+	if err != nil {
+		return DensestSubgraph{}, err
+	}
+	r := peel.DensestByButterflies(g.g, s)
+	return DensestSubgraph{
+		Keep:        r.KeepSide,
+		Butterflies: r.Butterflies,
+		Vertices:    r.Vertices,
+		Density:     r.Density,
+	}, nil
+}
+
+func (g *Graph) wingNumbersFrom(wing []int64) []EdgeCount {
+	adj := g.g.Adj()
+	out := make([]EdgeCount, 0, len(wing))
+	for u := 0; u < adj.R; u++ {
+		row := adj.Row(u)
+		for k, v := range row {
+			out = append(out, EdgeCount{U: u, V: int(v), Count: wing[adj.Ptr[u]+int64(k)]})
+		}
+	}
+	return out
+}

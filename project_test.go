@@ -1,0 +1,89 @@
+package butterfly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProjectCompleteBipartite(t *testing.T) {
+	g, err := GenerateComplete(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := g.Project(V1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every V1 pair shares all 3 neighbors: C(4,2) = 6 pairs.
+	if len(pairs) != 6 {
+		t.Fatalf("%d pairs, want 6", len(pairs))
+	}
+	for _, p := range pairs {
+		if p.Shared != 3 || p.A >= p.B {
+			t.Fatalf("bad pair %+v", p)
+		}
+	}
+	// V2 side: C(3,2) = 3 pairs sharing 4.
+	pairs, err = g.Project(V2, 4)
+	if err != nil || len(pairs) != 3 {
+		t.Fatalf("V2 pairs = %d, %v", len(pairs), err)
+	}
+	// Threshold filters.
+	pairs, err = g.Project(V2, 5)
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("threshold failed: %d pairs", len(pairs))
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	g := k22(t)
+	if _, err := g.Project(V1, 0); err == nil {
+		t.Fatal("minShared 0 accepted")
+	}
+	if _, err := g.Project(Side(9), 1); err == nil {
+		t.Fatal("bad side accepted")
+	}
+}
+
+// Projection agrees with CommonNeighbors pairwise, and pairs with
+// Shared ≥ 2 carry exactly C(Shared, 2) butterflies.
+func TestQuickProjectConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := GenerateErdosRenyi(rng.Intn(8)+2, rng.Intn(8)+2, 0.5, seed)
+		if err != nil {
+			return false
+		}
+		pairs, err := g.Project(V1, 1)
+		if err != nil {
+			return false
+		}
+		seen := map[[2]int]int64{}
+		for _, p := range pairs {
+			seen[[2]int{p.A, p.B}] = p.Shared
+		}
+		var totalButterflies int64
+		for a := 0; a < g.NumV1(); a++ {
+			for b := a + 1; b < g.NumV1(); b++ {
+				cn, err := g.CommonNeighbors(a, b, V1)
+				if err != nil {
+					return false
+				}
+				if cn > 0 && seen[[2]int{a, b}] != cn {
+					return false
+				}
+				if cn == 0 {
+					if _, present := seen[[2]int{a, b}]; present {
+						return false
+					}
+				}
+				totalButterflies += cn * (cn - 1) / 2
+			}
+		}
+		return totalButterflies == g.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package butterfly
+
+import (
+	"fmt"
+
+	"butterfly/internal/baseline"
+)
+
+// StreamEstimator approximates the butterfly count of an edge stream
+// with a fixed-size uniform reservoir: memory stays O(reservoir)
+// regardless of stream length, and the estimate is unbiased for
+// duplicate-free streams (exact while the reservoir still fits the
+// whole stream). The O(1)-memory companion to DynamicCounter, for
+// streams too large to keep.
+type StreamEstimator struct {
+	s    *baseline.StreamEstimator
+	m, n int
+}
+
+// NewStreamEstimator returns an estimator over vertex sets of size m
+// and n. reservoir must be at least 4 (a butterfly's edge count).
+func NewStreamEstimator(m, n, reservoir int, seed int64) (*StreamEstimator, error) {
+	if m < 0 || n < 0 {
+		return nil, fmt.Errorf("butterfly: negative vertex-set size %d/%d", m, n)
+	}
+	if reservoir < 4 {
+		return nil, fmt.Errorf("butterfly: reservoir %d < 4 cannot hold a butterfly", reservoir)
+	}
+	return &StreamEstimator{s: baseline.NewStreamEstimator(m, n, reservoir, seed), m: m, n: n}, nil
+}
+
+// Add feeds the next stream edge.
+func (e *StreamEstimator) Add(u, v int) error {
+	if u < 0 || u >= e.m || v < 0 || v >= e.n {
+		return fmt.Errorf("butterfly: stream edge (%d,%d) out of range %dx%d", u, v, e.m, e.n)
+	}
+	e.s.Add(u, v)
+	return nil
+}
+
+// Seen returns the number of edges consumed.
+func (e *StreamEstimator) Seen() int64 { return e.s.Seen() }
+
+// Estimate returns the current butterfly estimate for the whole
+// stream.
+func (e *StreamEstimator) Estimate() float64 { return e.s.Estimate() }
