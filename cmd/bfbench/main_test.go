@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -139,5 +140,66 @@ func TestRunSignificance(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "z-score") {
 		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestRunJSONStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-json", "-", "-scale", "400", "-threads", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var rep struct {
+		Schema  string `json:"schema"`
+		Scale   int    `json:"scale"`
+		Results []struct {
+			Dataset   string `json:"dataset"`
+			Algorithm string `json:"algorithm"`
+			Invariant string `json:"invariant"`
+			Threads   int    `json:"threads"`
+			NsPerOp   int64  `json:"ns_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v in %q", err, out)
+	}
+	if rep.Schema != "bfbench/v1" || rep.Scale != 400 {
+		t.Fatalf("header wrong: %+v", rep)
+	}
+	algos := map[string]bool{}
+	for _, r := range rep.Results {
+		algos[r.Algorithm] = true
+		if r.NsPerOp < 0 || r.Dataset == "" || r.Invariant == "" || r.Threads < 1 {
+			t.Fatalf("malformed result %+v", r)
+		}
+	}
+	for _, want := range []string{"family/seq", "family/arena", "family/parallel"} {
+		if !algos[want] {
+			t.Fatalf("missing algorithm %q in results", want)
+		}
+	}
+	// Plain -json must not print the text tables.
+	if strings.Contains(out, "== ") {
+		t.Fatal("-json alone still printed text tables")
+	}
+}
+
+func TestRunJSONFileWithTable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-json", path, "-table", "fig9", "-scale", "400"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("written file is not valid JSON")
+	}
+	// Explicit -table keeps the text output too.
+	if !strings.Contains(sb.String(), "Fig 9") {
+		t.Fatal("-json with explicit -table dropped the table output")
 	}
 }

@@ -1,0 +1,125 @@
+package bench
+
+// Machine-readable benchmark output: the -json flag of cmd/bfbench
+// writes a JSONReport so successive PRs can diff performance without
+// parsing text tables. BENCH_PR1.json at the repo root is the first
+// committed snapshot.
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"butterfly/internal/core"
+	"butterfly/internal/graph"
+)
+
+// JSONResult is one measured cell: a (dataset, algorithm, invariant,
+// threads) combination with its best-of-repeat wall time and the
+// allocation count of the measured run.
+type JSONResult struct {
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"`
+	Invariant string `json:"invariant"`
+	Threads   int    `json:"threads"`
+	NsPerOp   int64  `json:"ns_per_op"`
+	Allocs    int64  `json:"allocs"`
+	Count     int64  `json:"count"`
+}
+
+// JSONReport is the top-level -json document.
+type JSONReport struct {
+	Schema  string       `json:"schema"`
+	Go      string       `json:"go"`
+	Scale   int          `json:"scale"`
+	Repeat  int          `json:"repeat"`
+	Results []JSONResult `json:"results"`
+}
+
+// measureJSON times fn best-of-repeat and reports the allocation count
+// observed during the fastest run.
+func measureJSON(repeat int, fn func() int64) (nsPerOp, allocs, count int64) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var ms1, ms2 runtime.MemStats
+	best := int64(-1)
+	for r := 0; r < repeat; r++ {
+		runtime.ReadMemStats(&ms1)
+		t0 := time.Now()
+		count = fn()
+		ns := time.Since(t0).Nanoseconds()
+		runtime.ReadMemStats(&ms2)
+		if best < 0 || ns < best {
+			best = ns
+			allocs = int64(ms2.Mallocs - ms1.Mallocs)
+		}
+	}
+	return best, allocs, count
+}
+
+// JSONBench measures every invariant sequentially plus the auto
+// invariant at each requested thread count, for every named dataset.
+// The "family/arena" row re-runs the sequential auto count through a
+// warm core.Arena, making the allocation win visible in the snapshot.
+func JSONBench(names []string, dataDir string, scale int, threadsList []int, repeat int) (*JSONReport, error) {
+	rep := &JSONReport{
+		Schema: "bfbench/v1",
+		Go:     runtime.Version(),
+		Scale:  scale,
+		Repeat: repeat,
+	}
+	for _, name := range names {
+		g, err := LoadDataset(name, dataDir, scale)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, jsonDatasetRows(name, g, threadsList, repeat)...)
+	}
+	return rep, nil
+}
+
+func jsonDatasetRows(name string, g *graph.Bipartite, threadsList []int, repeat int) []JSONResult {
+	var rows []JSONResult
+	for _, inv := range core.Invariants() {
+		ns, allocs, count := measureJSON(repeat, func() int64 {
+			return core.Count(g, inv)
+		})
+		rows = append(rows, JSONResult{
+			Dataset: name, Algorithm: "family/seq", Invariant: inv.String(),
+			Threads: 1, NsPerOp: ns, Allocs: allocs, Count: count,
+		})
+	}
+	auto := core.AutoInvariant(g)
+	arena := core.NewArena()
+	opts := core.Options{Invariant: auto, Hub: core.HubNever, Arena: arena}
+	core.CountWith(g, opts) // warm the arena
+	ns, allocs, count := measureJSON(repeat, func() int64 {
+		return core.CountWith(g, opts)
+	})
+	rows = append(rows, JSONResult{
+		Dataset: name, Algorithm: "family/arena", Invariant: auto.String(),
+		Threads: 1, NsPerOp: ns, Allocs: allocs, Count: count,
+	})
+	for _, threads := range threadsList {
+		if threads <= 1 {
+			continue
+		}
+		ns, allocs, count := measureJSON(repeat, func() int64 {
+			return core.CountWith(g, core.Options{Invariant: auto, Threads: threads})
+		})
+		rows = append(rows, JSONResult{
+			Dataset: name, Algorithm: "family/parallel", Invariant: auto.String(),
+			Threads: threads, NsPerOp: ns, Allocs: allocs, Count: count,
+		})
+	}
+	return rows
+}
+
+// WriteJSON renders the report with stable indentation (diff-friendly).
+func WriteJSON(w io.Writer, rep *JSONReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

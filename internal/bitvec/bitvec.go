@@ -39,6 +39,26 @@ func NewFull(n int) *Vector {
 // Len returns the number of bits in the vector.
 func (v *Vector) Len() int { return v.n }
 
+// Reset resizes v to n bits, all cleared, reusing the existing word
+// storage when it is large enough. It is the allocation-free analogue of
+// assigning New(n) and exists for arena-pooled scratch vectors that are
+// recycled across graphs of different sizes.
+func (v *Vector) Reset(n int) {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	w := (n + wordBits - 1) / wordBits
+	if cap(v.words) < w {
+		v.words = make([]uint64, w)
+	} else {
+		v.words = v.words[:w]
+		for i := range v.words {
+			v.words[i] = 0
+		}
+	}
+	v.n = n
+}
+
 func (v *Vector) check(i int) {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))

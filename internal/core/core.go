@@ -142,6 +142,14 @@ type Options struct {
 	// ordering is the paper's future-work optimization; the count is
 	// invariant under relabeling).
 	Order graph.Order
+	// Hub selects the hybrid intersection kernel policy: HubAuto (the
+	// zero value) chooses per vertex from a cost model, HubNever forces
+	// the sparse path, HubAlways forces the bitset path. Every policy
+	// returns the exact count.
+	Hub HubPolicy
+	// Arena optionally supplies a workspace pool reused across counts;
+	// nil allocates fresh scratch per run. See NewArena.
+	Arena *Arena
 }
 
 // AutoInvariant picks the family member the paper's Section V
@@ -183,10 +191,12 @@ func CountWith(g *graph.Bipartite, opts Options) int64 {
 	}
 	switch {
 	case threads > 1:
-		return countParallel(g, inv, threads)
+		return countParallel(g, inv, threads, opts.Hub, opts.Arena)
 	case opts.BlockSize > 1:
 		return countBlocked(g, inv, opts.BlockSize)
-	default:
+	case opts.Hub == HubNever && opts.Arena == nil:
 		return countSeq(g, inv)
+	default:
+		return countSeqHub(g, inv, opts.Hub, opts.Arena)
 	}
 }

@@ -40,41 +40,90 @@ func edgeSupportOrientationCost(g *graph.Bipartite) int64 {
 	return c
 }
 
-// EdgeSupportParallel computes the same matrix with `threads` workers;
-// each worker owns disjoint rows of the output.
+// EdgeSupportParallel computes the same matrix with up to `threads`
+// workers; each worker owns disjoint rows of the output.
 func EdgeSupportParallel(g *graph.Bipartite, threads int) *sparse.CSR {
 	if threads <= 1 {
 		return EdgeSupport(g)
 	}
-	adj := g.Adj()
-	out := &sparse.CSR{
-		R: adj.R, C: adj.C,
-		Ptr: adj.Ptr,
-		Col: adj.Col,
-		Val: make([]int64, adj.NNZ()),
+	return EdgeSupportParallelInto(nil, g, threads, nil)
+}
+
+// edgeWorkPerRow returns the modeled support work of each exposed row:
+// Σ over incident columns v of deg(v), the row-scan cost shared by the
+// β-accumulation and gather passes.
+func edgeWorkPerRow(g *graph.Bipartite) []int64 {
+	adj, adjT := g.Adj(), g.AdjT()
+	work := make([]int64, adj.R)
+	for u := 0; u < adj.R; u++ {
+		var w int64
+		for _, v := range adj.Row(u) {
+			w += int64(adjT.RowDeg(int(v)))
+		}
+		work[u] = w
 	}
+	return work
+}
+
+// EdgeSupportParallelInto is the allocation-conscious form used by
+// peeling loops: vals (len ≥ NNZ, or nil to allocate) receives the
+// support values and scratch comes from the arena, so repeated rounds
+// reuse every buffer. Rows are scheduled by work units — a hub row caps
+// its chunk — but stay atomic, because the per-edge gather needs the
+// row's complete β accumulator; splitting hub rows is the counting
+// kernel's job (see countParallel), not the support sweep's.
+func EdgeSupportParallelInto(vals []int64, g *graph.Bipartite, threads int, a *Arena) *sparse.CSR {
+	adj := g.Adj()
+	if vals == nil {
+		vals = make([]int64, adj.NNZ())
+	}
+	out := &sparse.CSR{R: adj.R, C: adj.C, Ptr: adj.Ptr, Col: adj.Col, Val: vals[:adj.NNZ()]}
+	n1 := g.NumV1()
+
+	seq := func() *sparse.CSR {
+		ws := a.get(n1)
+		touched := ws.touched
+		supportRows(g, 0, n1, out.Val, ws.acc, &touched)
+		ws.touched = touched
+		a.put(ws)
+		return out
+	}
+	if threads <= 1 {
+		return seq()
+	}
+
+	work := edgeWorkPerRow(g)
+	sched := buildSchedule(work, false, threads, schedTuning{}, nil,
+		func(int) int { return 1 }, // rows are atomic: never split
+		nil, nil)
+	if threads > len(sched.units) {
+		threads = len(sched.units)
+	}
+	if threads <= 1 {
+		return seq()
+	}
+
 	var (
 		cursor atomic.Int64
 		wg     sync.WaitGroup
 	)
-	n1 := g.NumV1()
+	nUnits := len(sched.units)
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			acc := make([]int32, n1)
-			touched := make([]int32, 0, 1024)
+			ws := a.get(n1)
+			defer a.put(ws)
+			touched := ws.touched
 			for {
-				start := int(cursor.Add(parChunk)) - parChunk
-				if start >= n1 {
+				i := int(cursor.Add(1)) - 1
+				if i >= nUnits {
 					break
 				}
-				end := start + parChunk
-				if end > n1 {
-					end = n1
-				}
-				supportRows(g, start, end, out.Val, acc, &touched)
+				u := &sched.units[i]
+				supportRows(g, u.lo, u.hi, out.Val, ws.acc, &touched)
 			}
+			ws.touched = touched
 		}()
 	}
 	wg.Wait()

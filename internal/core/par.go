@@ -5,39 +5,73 @@ import (
 	"sync/atomic"
 
 	"butterfly/internal/graph"
-	"butterfly/internal/sparse"
 )
 
-// parChunk is the number of exposed vertices a worker claims at a time.
-// Chunks amortize the atomic fetch while staying small enough to load-
-// balance the skewed degree distributions of real bipartite graphs: a
-// chunk containing a hub bounds the schedule's makespan from below, so
-// smaller is safer, and one atomic add per 64 vertices is noise.
-const parChunk = 64
-
-// countParallel runs the invariant's algorithm with `threads` workers.
+// countParallel runs the invariant's algorithm with up to `threads`
+// workers on the work-weighted schedule.
 //
 // The outer loop over exposed vertices is embarrassingly parallel: the
 // per-iteration update (18) only reads the adjacency and writes a
-// worker-private wedge accumulator, so workers claim chunks of the
-// traversal with an atomic cursor and reduce their partial ΞG at the
-// end. The result is bit-identical to the sequential algorithm (integer
-// addition is associative), which the tests assert.
-func countParallel(g *graph.Bipartite, inv Invariant, threads int) int64 {
-	desc, above := inv.geometry()
-	var exposed, secondary *sparse.CSR
-	if inv.PartitionsV2() {
-		exposed, secondary = g.AdjT(), g.Adj()
-	} else {
-		exposed, secondary = g.Adj(), g.AdjT()
-	}
+// worker-private wedge accumulator. The engine:
+//
+//  1. computes the exact per-vertex wedge work in one CSR pass;
+//  2. builds a work-weighted schedule (sched.go) — guided decreasing
+//     chunks plus hub splitting for any vertex above the spill budget;
+//  3. clamps the worker count to the number of schedule units (a
+//     hub-heavy graph with few exposed vertices still gets as many
+//     workers as it has units — the old clamp counted vertices);
+//  4. phase 1: workers claim units from an atomic cursor. Chunks run
+//     the hybrid kernel per vertex; candidate-range segments of
+//     bitset-path hubs are additive and accumulate directly;
+//     neighbor-list segments of sparse hubs export partial wedge
+//     counts;
+//  5. phase 2: split-hub partials are merged and C(β, 2) applied.
+//
+// Every path computes the same integer wedge multiplicities, so the
+// result is bit-identical to the sequential algorithm (asserted by the
+// tests) for every policy, tuning and thread count.
+func countParallel(g *graph.Bipartite, inv Invariant, threads int, pol HubPolicy, a *Arena) int64 {
+	return countParallelTuned(g, inv, threads, pol, a, schedTuning{})
+}
 
+// countParallelTuned is countParallel with explicit scheduler tuning;
+// tests shrink the budgets to force hub splitting on small graphs.
+func countParallelTuned(g *graph.Bipartite, inv Invariant, threads int, pol HubPolicy, a *Arena, tun schedTuning) int64 {
+	desc, above := inv.geometry()
+	exposed, secondary := orient(g, inv)
 	nExp := exposed.R
-	if threads > nExp/parChunk+1 {
-		threads = nExp/parChunk + 1
+
+	work := workPerExposed(exposed, secondary, above)
+	ks := newKernShared(exposed, secondary, above, pol, work)
+	sched := buildSchedule(work, desc, threads, tun,
+		restrictedSegWork(exposed, secondary, above),
+		exposed.RowDeg, ks.bitsSplitFunc(), exposed.Ptr)
+
+	// Clamp on schedulable work units, not vertex count: a unit is the
+	// smallest indivisible piece of work, so extra workers would only
+	// spin on the cursor.
+	if threads > len(sched.units) {
+		threads = len(sched.units)
 	}
 	if threads <= 1 {
-		return countFamily(exposed, secondary, desc, above)
+		kn := ks.worker(a)
+		defer kn.release()
+		var total int64
+		for idx := 0; idx < nExp; idx++ {
+			k := idx
+			if desc {
+				k = nExp - 1 - idx
+			}
+			total += kn.contrib(k)
+		}
+		return total
+	}
+
+	// parts[i][s] holds segment s of spill i, written by exactly one
+	// phase-1 unit and read after the wg.Wait barrier.
+	parts := make([][][]hubPair, len(sched.spills))
+	for i, sp := range sched.spills {
+		parts[i] = make([][]hubPair, sp.segs)
 	}
 
 	var (
@@ -45,55 +79,69 @@ func countParallel(g *graph.Bipartite, inv Invariant, threads int) int64 {
 		total  atomic.Int64
 		wg     sync.WaitGroup
 	)
+	nUnits := len(sched.units)
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			acc := make([]int32, nExp)
-			touched := make([]int32, 0, 1024)
+			kn := ks.worker(a)
+			defer kn.release()
 			var local int64
 			for {
-				start := int(cursor.Add(parChunk)) - parChunk
-				if start >= nExp {
+				i := int(cursor.Add(1)) - 1
+				if i >= nUnits {
 					break
 				}
-				end := start + parChunk
-				if end > nExp {
-					end = nExp
-				}
-				for idx := start; idx < end; idx++ {
-					k := idx
-					if desc {
-						k = nExp - 1 - idx
-					}
-					k32 := int32(k)
-					for _, y := range exposed.Row(k) {
-						prow := secondary.Row(int(y))
-						if above {
-							for _, z := range prow[searchInt32(prow, k32+1):] {
-								if acc[z] == 0 {
-									touched = append(touched, z)
-								}
-								acc[z]++
-							}
-						} else {
-							for _, z := range prow {
-								if z >= k32 {
-									break
-								}
-								if acc[z] == 0 {
-									touched = append(touched, z)
-								}
-								acc[z]++
-							}
+				u := &sched.units[i]
+				switch u.kind {
+				case unitChunk:
+					for idx := u.lo; idx < u.hi; idx++ {
+						k := idx
+						if desc {
+							k = nExp - 1 - idx
 						}
+						local += kn.contrib(k)
 					}
-					local += flush(acc, &touched)
+				case unitZSeg:
+					local += kn.contribBitsRange(u.hub, u.lo, u.hi)
+				case unitYSeg:
+					parts[u.spill][u.seg] = kn.segPairs(u.hub, u.lo, u.hi)
 				}
 			}
 			total.Add(local)
 		}()
 	}
 	wg.Wait()
+
+	// Phase 2: reduce split-hub partials. Spills are rare (one per hub
+	// above the spill budget), so a small second pool suffices.
+	if len(sched.spills) > 0 {
+		reducers := threads
+		if reducers > len(sched.spills) {
+			reducers = len(sched.spills)
+		}
+		var (
+			rc  atomic.Int64
+			wg2 sync.WaitGroup
+		)
+		for t := 0; t < reducers; t++ {
+			wg2.Add(1)
+			go func() {
+				defer wg2.Done()
+				kn := ks.worker(a)
+				defer kn.release()
+				var local int64
+				for {
+					i := int(rc.Add(1)) - 1
+					if i >= len(parts) {
+						break
+					}
+					local += kn.reducePairs(parts[i])
+				}
+				total.Add(local)
+			}()
+		}
+		wg2.Wait()
+	}
 	return total.Load()
 }

@@ -4,45 +4,32 @@ import (
 	"fmt"
 
 	"butterfly/internal/graph"
-	"butterfly/internal/sparse"
 )
 
 // WorkPerVertex returns, for each exposed-side vertex of the
 // invariant, the number of wedge steps its iteration performs (the
 // inner-loop partner visits of update (18)). Σ of the vector is the
-// invariant's total work. Cost: one traversal without accumulation.
+// invariant's total work. Cost: one pass over the secondary CSR, with
+// no searches — in a sorted partner row the i-th entry has exactly i
+// partners below it (see workPerExposed).
 func WorkPerVertex(g *graph.Bipartite, inv Invariant) []int64 {
 	_, above := inv.geometry()
-	var exposed, secondary *sparse.CSR
-	if inv.PartitionsV2() {
-		exposed, secondary = g.AdjT(), g.Adj()
-	} else {
-		exposed, secondary = g.Adj(), g.AdjT()
-	}
-	nExp := exposed.R
-	work := make([]int64, nExp)
-	for k := 0; k < nExp; k++ {
-		k32 := int32(k)
-		var w int64
-		for _, y := range exposed.Row(k) {
-			prow := secondary.Row(int(y))
-			if above {
-				w += int64(len(prow) - searchInt32(prow, k32+1))
-			} else {
-				w += int64(searchInt32(prow, k32))
-			}
-		}
-		work[k] = w
-	}
-	return work
+	exposed, secondary := orient(g, inv)
+	return workPerExposed(exposed, secondary, above)
 }
 
-// WorkBalance simulates the parallel scheduler deterministically: the
-// traversal is split into chunks of parChunk exposed vertices and each
-// chunk goes to the currently least-loaded of `threads` workers — the
-// steady-state behaviour of the dynamic chunk cursor in countParallel.
-// It returns the per-worker wedge-step totals. max/mean of the result
-// is the load-imbalance factor; 1.0 is perfect.
+// WorkBalance simulates the work-weighted parallel scheduler
+// deterministically: the traversal is cut into work-weighted units —
+// guided decreasing chunks plus neighbor-list segments of any hub above
+// the spill budget (see buildSchedule) — and each unit goes to the
+// currently least-loaded of `threads` workers, the steady-state
+// behaviour of the dynamic unit cursor in countParallel. It returns
+// the per-worker wedge-step totals; max/mean of the result is the
+// load-imbalance factor, 1.0 being perfect.
+//
+// The simulation models the sparse schedule (no bitset-path candidate
+// splitting), so Σ of the returned loads equals Σ WorkPerVertex
+// exactly — the conservation law the tests pin down.
 //
 // The function exists because single-CPU CI environments cannot
 // observe wall-clock speedup (see EXPERIMENTS.md, Fig 11): balance of
@@ -52,31 +39,13 @@ func WorkBalance(g *graph.Bipartite, inv Invariant, threads int) []int64 {
 	if threads < 1 {
 		panic(fmt.Sprintf("core: WorkBalance threads = %d", threads))
 	}
-	work := WorkPerVertex(g, inv)
-	desc, _ := inv.geometry()
-	loads := make([]int64, threads)
-	for start := 0; start < len(work); start += parChunk {
-		end := start + parChunk
-		if end > len(work) {
-			end = len(work)
-		}
-		var chunk int64
-		for idx := start; idx < end; idx++ {
-			k := idx
-			if desc {
-				k = len(work) - 1 - idx
-			}
-			chunk += work[k]
-		}
-		min := 0
-		for t := 1; t < threads; t++ {
-			if loads[t] < loads[min] {
-				min = t
-			}
-		}
-		loads[min] += chunk
-	}
-	return loads
+	desc, above := inv.geometry()
+	exposed, secondary := orient(g, inv)
+	work := workPerExposed(exposed, secondary, above)
+	sched := buildSchedule(work, desc, threads, schedTuning{},
+		restrictedSegWork(exposed, secondary, above),
+		exposed.RowDeg, nil, nil)
+	return sched.simulate(threads)
 }
 
 // ImbalanceFactor reduces a per-worker load vector to max/mean;

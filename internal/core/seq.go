@@ -20,6 +20,34 @@ func countSeq(g *graph.Bipartite, inv Invariant) int64 {
 	return countFamily(g.Adj(), g.AdjT(), desc, above)
 }
 
+// countSeqHub is the sequential traversal through the hybrid kernel:
+// identical counts to countSeq, but dense exposed vertices may take the
+// bitset path per the policy's cost model, and scratch state comes from
+// the (optional) arena.
+func countSeqHub(g *graph.Bipartite, inv Invariant, pol HubPolicy, a *Arena) int64 {
+	desc, above := inv.geometry()
+	exposed, secondary := orient(g, inv)
+	if pol == HubNever {
+		// Pure sparse path: skip the kernel analysis entirely so a warm
+		// arena makes repeated counts allocation-free.
+		ws := a.get(exposed.R)
+		defer a.put(ws)
+		return countFamilyWith(ws.acc, ws.touched, exposed, secondary, desc, above)
+	}
+	kn := newKernShared(exposed, secondary, above, pol, nil).worker(a)
+	defer kn.release()
+	nExp := exposed.R
+	var total int64
+	for idx := 0; idx < nExp; idx++ {
+		k := idx
+		if desc {
+			k = nExp - 1 - idx
+		}
+		total += kn.contrib(k)
+	}
+	return total
+}
+
 // countFamily implements the shared wedge-accumulation kernel behind
 // all eight invariants (the paper's update (18) with the subtraction
 // term folded away):

@@ -18,6 +18,9 @@ import (
 // parallel; the heap version does minimal incremental work but is
 // inherently sequential. Graphs with few peeling levels (most
 // real-world bipartite networks) favor rounds.
+//
+// All rounds share one output buffer and one core.Arena, so the loop's
+// steady state allocates nothing (see TestTipRoundsArenaZeroAlloc).
 func TipDecompositionRounds(g *graph.Bipartite, side core.Side, threads int) []int64 {
 	n := g.NumV1()
 	if side == core.SideV2 {
@@ -32,8 +35,10 @@ func TipDecompositionRounds(g *graph.Bipartite, side core.Side, threads int) []i
 	tip := make([]int64, n)
 	var level int64
 
+	arena := core.NewArena()
+	s := make([]int64, n)
 	for remaining > 0 {
-		s := core.VertexButterfliesMaskedParallel(g, side, active, threads)
+		core.VertexButterfliesMaskedInto(s, g, side, active, threads, arena)
 		// Find the minimum count among active vertices.
 		min := int64(-1)
 		for u, a := range active {
@@ -67,8 +72,10 @@ func KTipParallel(g *graph.Bipartite, k int64, side core.Side, threads int) *gra
 	for i := range active {
 		active[i] = true
 	}
+	arena := core.NewArena()
+	s := make([]int64, n)
 	for {
-		s := core.VertexButterfliesMaskedParallel(g, side, active, threads)
+		core.VertexButterfliesMaskedInto(s, g, side, active, threads, arena)
 		changed := false
 		for u := range active {
 			if active[u] && s[u] < k {

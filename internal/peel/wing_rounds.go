@@ -7,11 +7,15 @@ import (
 )
 
 // KWingParallel is KWingSubgraph with each iteration's support matrix
-// computed by `threads` workers; the fixpoint is identical.
+// computed by `threads` workers; the fixpoint is identical. The rounds
+// share one value buffer and one core.Arena, so each iteration's
+// support sweep reuses the previous round's scratch.
 func KWingParallel(g *graph.Bipartite, k int64, threads int) *graph.Bipartite {
+	arena := core.NewArena()
+	valsBuf := make([]int64, g.NumEdges())
 	cur := g
 	for {
-		sw := core.EdgeSupportParallel(cur, threads)
+		sw := core.EdgeSupportParallelInto(valsBuf, cur, threads, arena)
 		kept := sparse.PatternOf(sparse.Select(sw, func(_ int, _ int32, v int64) bool {
 			return v >= k
 		}))
@@ -47,9 +51,12 @@ func WingDecompositionRounds(g *graph.Bipartite, threads int) []int64 {
 		ids[i] = int64(i)
 	}
 
+	arena := core.NewArena()
+	valsBuf := make([]int64, orig.NNZ())
+
 	var level int64
 	for cur.NumEdges() > 0 {
-		sup := core.EdgeSupportParallel(cur, threads)
+		sup := core.EdgeSupportParallelInto(valsBuf, cur, threads, arena)
 		min := int64(-1)
 		for _, v := range sup.Val {
 			if min < 0 || v < min {
