@@ -1,0 +1,219 @@
+// Package client is a small Go client for the bfserved HTTP API
+// (cmd/bfserved). Request and response types live in
+// butterfly/serveapi; this package adds transport, error mapping and
+// convenience methods.
+//
+//	c := client.New("http://localhost:8080")
+//	info, err := c.Register(ctx, serveapi.RegisterRequest{Name: "g", Dataset: "occupations", Scale: 10})
+//	count, err := c.Count(ctx, "g", serveapi.CountRequest{Threads: -1})
+//
+// Overload (429) and deadline (504) responses map to ErrOverloaded
+// and ErrDeadline so callers can branch with errors.Is.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"butterfly/serveapi"
+)
+
+// ErrOverloaded reports a 429: the server shed the request because its
+// admission queue was full. Retry with backoff.
+var ErrOverloaded = errors.New("bfserved: overloaded (429)")
+
+// ErrDeadline reports a 504: the per-request deadline expired before
+// the computation finished.
+var ErrDeadline = errors.New("bfserved: deadline exceeded (504)")
+
+// ErrNotFound reports a 404: the named graph is not registered.
+var ErrNotFound = errors.New("bfserved: graph not found (404)")
+
+// APIError is any non-2xx response; 429/504/404 additionally unwrap to
+// the sentinel errors above.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("bfserved: %d: %s", e.Status, e.Message)
+}
+
+// Unwrap maps well-known statuses onto sentinel errors.
+func (e *APIError) Unwrap() error {
+	switch e.Status {
+	case http.StatusTooManyRequests:
+		return ErrOverloaded
+	case http.StatusGatewayTimeout:
+		return ErrDeadline
+	case http.StatusNotFound:
+		return ErrNotFound
+	default:
+		return nil
+	}
+}
+
+// Client talks to one bfserved instance. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, client-side timeouts).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// BaseURL returns the server base URL this client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8080").
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: base, http: &http.Client{Timeout: 10 * time.Minute}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request and decodes the response into out (skipped
+// when out is nil).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var apiErr serveapi.Error
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr) == nil && apiErr.Message != "" {
+			msg = apiErr.Message
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health fetches /healthz. A draining server answers 503, surfaced as
+// an APIError.
+func (c *Client) Health(ctx context.Context) (serveapi.Health, error) {
+	var h serveapi.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	return string(b), err
+}
+
+// Register loads a graph into the server's registry.
+func (c *Client) Register(ctx context.Context, req serveapi.RegisterRequest) (serveapi.GraphInfo, error) {
+	var info serveapi.GraphInfo
+	err := c.do(ctx, http.MethodPost, "/graphs", req, &info)
+	return info, err
+}
+
+// Graphs lists the registered graphs.
+func (c *Client) Graphs(ctx context.Context) ([]serveapi.GraphInfo, error) {
+	var list serveapi.GraphList
+	err := c.do(ctx, http.MethodGet, "/graphs", nil, &list)
+	return list.Graphs, err
+}
+
+// GraphInfo fetches one graph's current version info.
+func (c *Client) GraphInfo(ctx context.Context, name string) (serveapi.GraphInfo, error) {
+	var info serveapi.GraphInfo
+	err := c.do(ctx, http.MethodGet, "/graphs/"+url.PathEscape(name), nil, &info)
+	return info, err
+}
+
+// Drop removes a graph from the registry.
+func (c *Client) Drop(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/graphs/"+url.PathEscape(name), nil, nil)
+}
+
+// Count runs an exact butterfly count.
+func (c *Client) Count(ctx context.Context, graph string, req serveapi.CountRequest) (serveapi.CountResponse, error) {
+	var resp serveapi.CountResponse
+	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/count", req, &resp)
+	return resp, err
+}
+
+// VertexCounts fetches the top vertices by butterfly participation.
+func (c *Client) VertexCounts(ctx context.Context, graph string, req serveapi.VertexCountsRequest) (serveapi.VertexCountsResponse, error) {
+	var resp serveapi.VertexCountsResponse
+	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/vertex-counts", req, &resp)
+	return resp, err
+}
+
+// EdgeSupports fetches the top edges by butterfly support.
+func (c *Client) EdgeSupports(ctx context.Context, graph string, req serveapi.EdgeSupportsRequest) (serveapi.EdgeSupportsResponse, error) {
+	var resp serveapi.EdgeSupportsResponse
+	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/edge-supports", req, &resp)
+	return resp, err
+}
+
+// Estimate runs a sampling estimator.
+func (c *Client) Estimate(ctx context.Context, graph string, req serveapi.EstimateRequest) (serveapi.EstimateResponse, error) {
+	var resp serveapi.EstimateResponse
+	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/estimate", req, &resp)
+	return resp, err
+}
+
+// Peel runs a k-tip or k-wing peel.
+func (c *Client) Peel(ctx context.Context, graph string, req serveapi.PeelRequest) (serveapi.PeelResponse, error) {
+	var resp serveapi.PeelResponse
+	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/peel", req, &resp)
+	return resp, err
+}
+
+// Mutate applies an edge mutation batch, producing a new graph
+// version.
+func (c *Client) Mutate(ctx context.Context, graph string, req serveapi.MutateRequest) (serveapi.MutateResponse, error) {
+	var resp serveapi.MutateResponse
+	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/mutate", req, &resp)
+	return resp, err
+}

@@ -1,0 +1,348 @@
+// Command bfload drives load against a bfserved instance and reports
+// throughput and latency — the serving-layer counterpart of bfbench.
+//
+// It registers a synthetic dataset (unless -no-register), then fires
+// -n requests from -c concurrent workers drawn from a weighted
+// operation mix (-mix), and prints a latency/throughput summary plus
+// per-status counts. Any 5xx response makes bfload exit nonzero, so
+// CI can use it as a smoke gate:
+//
+//	bfload -addr localhost:8080 -graph occupations -dataset occupations -scale 20 -n 1000 -c 8
+//	bfload -addr localhost:8080 -graph g -dataset github -scale 50 -json -
+//
+// Mutation operations insert and delete random edges, exercising the
+// copy-on-write snapshot path and invalidating the result cache by
+// version bump — a realistic mixed read/write workload.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"butterfly/client"
+	"butterfly/serveapi"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bfload:", err)
+		os.Exit(1)
+	}
+}
+
+type opKind int
+
+const (
+	opCount opKind = iota
+	opVertex
+	opEdges
+	opEstimate
+	opPeel
+	opMutate
+	numOps
+)
+
+var opNames = [numOps]string{"count", "vertex", "edges", "estimate", "peel", "mutate"}
+
+// report is the machine-readable summary (-json).
+type report struct {
+	Addr        string             `json:"addr"`
+	Graph       string             `json:"graph"`
+	Requests    int                `json:"requests"`
+	Concurrency int                `json:"concurrency"`
+	Mix         string             `json:"mix"`
+	ElapsedSec  float64            `json:"elapsed_s"`
+	Throughput  float64            `json:"throughput_rps"`
+	LatencyMS   latencySummary     `json:"latency_ms"`
+	ByOp        map[string]int     `json:"by_op"`
+	ByStatus    map[string]int     `json:"by_status"`
+	Server5xx   int                `json:"server_5xx"`
+	OpLatencyMS map[string]float64 `json:"op_mean_latency_ms"`
+}
+
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bfload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr       = fs.String("addr", "localhost:8080", "bfserved address (host:port or URL)")
+		graph      = fs.String("graph", "loadtest", "graph name to query")
+		dataset    = fs.String("dataset", "occupations", "synthetic dataset to register as -graph")
+		scale      = fs.Int("scale", 20, "dataset shrink factor")
+		noRegister = fs.Bool("no-register", false, "assume -graph is already registered")
+		n          = fs.Int("n", 1000, "total requests")
+		c          = fs.Int("c", 8, "concurrent workers")
+		mix        = fs.String("mix", "count=5,vertex=1,edges=1,estimate=1,peel=1,mutate=1", "weighted operation mix")
+		seed       = fs.Int64("seed", 1, "workload RNG seed")
+		timeoutMS  = fs.Int("timeout-ms", 0, "per-request timeout_ms sent to the server (0 = server default)")
+		jsonOut    = fs.String("json", "", "write the report as JSON to this file, or - for stdout")
+		allow5xx   = fs.Bool("allow-5xx", false, "do not fail on 5xx responses")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 || *c <= 0 {
+		return fmt.Errorf("-n and -c must be positive")
+	}
+	weights, err := parseMix(*mix)
+	if err != nil {
+		return err
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := client.New(base)
+	ctx := context.Background()
+
+	if !*noRegister {
+		info, err := cl.Register(ctx, serveapi.RegisterRequest{
+			Name: *graph, Dataset: *dataset, Scale: *scale, Replace: true,
+		})
+		if err != nil {
+			return fmt.Errorf("register: %w", err)
+		}
+		fmt.Fprintf(out, "registered %s v%d: %dx%d, %d edges, %d butterflies\n",
+			info.Name, info.Version, info.NumV1, info.NumV2, info.NumEdges, info.Butterflies)
+	}
+	info, err := cl.GraphInfo(ctx, *graph)
+	if err != nil {
+		return fmt.Errorf("graph info: %w", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies = make([]float64, 0, *n)
+		byOp      = map[string]int{}
+		byStatus  = map[string]int{}
+		opLatSum  = map[string]float64{}
+		fiveXX    atomic.Int64
+		next      atomic.Int64
+		wg        sync.WaitGroup
+	)
+
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(worker)*7919))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				op := pickOp(rng, weights)
+				t0 := time.Now()
+				status := doOp(ctx, cl, *graph, info, op, rng, *timeoutMS)
+				dt := time.Since(t0).Seconds() * 1000
+				if status >= 500 {
+					fiveXX.Add(1)
+				}
+				mu.Lock()
+				latencies = append(latencies, dt)
+				byOp[opNames[op]]++
+				byStatus[strconv.Itoa(status)]++
+				opLatSum[opNames[op]] += dt
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	rep := report{
+		Addr: base, Graph: *graph, Requests: *n, Concurrency: *c, Mix: *mix,
+		ElapsedSec: elapsed.Seconds(),
+		Throughput: float64(*n) / elapsed.Seconds(),
+		LatencyMS: latencySummary{
+			P50: pct(0.50), P90: pct(0.90), P99: pct(0.99),
+			Max: pct(1.0), Mean: sum / float64(len(latencies)),
+		},
+		ByOp: byOp, ByStatus: byStatus,
+		Server5xx:   int(fiveXX.Load()),
+		OpLatencyMS: map[string]float64{},
+	}
+	for op, total := range opLatSum {
+		rep.OpLatencyMS[op] = total / float64(byOp[op])
+	}
+
+	fmt.Fprintf(out, "%d requests in %.2fs → %.1f req/s (workers=%d)\n",
+		*n, rep.ElapsedSec, rep.Throughput, *c)
+	fmt.Fprintf(out, "latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f mean=%.2f\n",
+		rep.LatencyMS.P50, rep.LatencyMS.P90, rep.LatencyMS.P99, rep.LatencyMS.Max, rep.LatencyMS.Mean)
+	statuses := make([]string, 0, len(byStatus))
+	for s := range byStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(out, "  status %s: %d\n", s, byStatus[s])
+	}
+	ops := make([]string, 0, len(byOp))
+	for o := range byOp {
+		ops = append(ops, o)
+	}
+	sort.Strings(ops)
+	for _, o := range ops {
+		fmt.Fprintf(out, "  op %-8s %6d (mean %.2f ms)\n", o, byOp[o], rep.OpLatencyMS[o])
+	}
+
+	if *jsonOut != "" {
+		var w io.Writer = out
+		var f *os.File
+		if *jsonOut != "-" {
+			f, err = os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if f != nil {
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote report to %s\n", *jsonOut)
+		}
+	}
+
+	if rep.Server5xx > 0 && !*allow5xx {
+		return fmt.Errorf("%d requests answered 5xx", rep.Server5xx)
+	}
+	return nil
+}
+
+// doOp fires one request and returns its HTTP status: 200 on success,
+// the APIError status on an HTTP-level failure, and 0 for transport
+// errors (connection refused, timeouts below HTTP) — reported as
+// their own bucket in the status table.
+func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.GraphInfo, op opKind, rng *rand.Rand, timeoutMS int) int {
+	var err error
+	switch op {
+	case opCount:
+		_, err = cl.Count(ctx, graph, serveapi.CountRequest{
+			Invariant:     rng.Intn(9),
+			Threads:       []int{1, -1}[rng.Intn(2)],
+			TimeoutMillis: timeoutMS,
+		})
+	case opVertex:
+		_, err = cl.VertexCounts(ctx, graph, serveapi.VertexCountsRequest{
+			Side: []string{"v1", "v2"}[rng.Intn(2)], Top: 20, TimeoutMillis: timeoutMS,
+		})
+	case opEdges:
+		_, err = cl.EdgeSupports(ctx, graph, serveapi.EdgeSupportsRequest{Top: 20, TimeoutMillis: timeoutMS})
+	case opEstimate:
+		_, err = cl.Estimate(ctx, graph, serveapi.EstimateRequest{
+			Strategy: "edges", Samples: 500, Seed: rng.Int63n(16), TimeoutMillis: timeoutMS,
+		})
+	case opPeel:
+		_, err = cl.Peel(ctx, graph, serveapi.PeelRequest{
+			Mode: "tip", K: int64(1 + rng.Intn(4)), Side: "v1", Threads: -1, TimeoutMillis: timeoutMS,
+		})
+	case opMutate:
+		ins := make([][2]int, 2)
+		del := make([][2]int, 1)
+		for i := range ins {
+			ins[i] = [2]int{rng.Intn(info.NumV1), rng.Intn(info.NumV2)}
+		}
+		del[0] = ins[0] // delete one of the just-inserted edges
+		_, err = cl.Mutate(ctx, graph, serveapi.MutateRequest{Inserts: ins, Deletes: del})
+	}
+	if err == nil {
+		return 200
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status
+	}
+	return 0 // transport failure
+}
+
+func pickOp(rng *rand.Rand, weights [numOps]int) opKind {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	r := rng.Intn(total)
+	for op, w := range weights {
+		if r < w {
+			return opKind(op)
+		}
+		r -= w
+	}
+	return opCount
+}
+
+func parseMix(s string) ([numOps]int, error) {
+	var weights [numOps]int
+	any := false
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return weights, fmt.Errorf("bad -mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return weights, fmt.Errorf("bad -mix weight %q", part)
+		}
+		found := false
+		for i, n := range opNames {
+			if n == name {
+				weights[i] = w
+				found = true
+				break
+			}
+		}
+		if !found {
+			return weights, fmt.Errorf("unknown -mix op %q (want %s)", name, strings.Join(opNames[:], "|"))
+		}
+		if w > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return weights, fmt.Errorf("-mix has no positive weights")
+	}
+	return weights, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly/internal/serve"
+)
+
+// TestRunAgainstServer drives a small mixed workload against an
+// in-process serve.Server and checks the report: every request
+// accounted for, no 5xx, sane latency summary.
+func TestRunAgainstServer(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}))
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-graph", "load",
+		"-dataset", "occupations",
+		"-scale", "100",
+		"-n", "60",
+		"-c", "4",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.Requests != 60 || rep.Server5xx != 0 {
+		t.Fatalf("report = %+v, want 60 requests and no 5xx", rep)
+	}
+	total := 0
+	for _, n := range rep.ByStatus {
+		total += n
+	}
+	if total != 60 {
+		t.Fatalf("status counts sum to %d, want 60", total)
+	}
+	if rep.ByStatus["200"] == 0 {
+		t.Fatal("no successful requests")
+	}
+	if rep.LatencyMS.P50 <= 0 || rep.LatencyMS.Max < rep.LatencyMS.P50 {
+		t.Fatalf("implausible latency summary: %+v", rep.LatencyMS)
+	}
+	if !strings.Contains(out.String(), "registered load") {
+		t.Fatalf("missing register line in output:\n%s", out.String())
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("count=3,mutate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[opCount] != 3 || w[opMutate] != 1 || w[opPeel] != 0 {
+		t.Fatalf("weights = %v", w)
+	}
+	for _, bad := range []string{"", "count", "count=x", "bogus=1", "count=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}

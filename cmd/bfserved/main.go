@@ -1,0 +1,145 @@
+// Command bfserved is the butterfly query daemon: a JSON-over-HTTP
+// service over a registry of named bipartite graphs, with exact
+// counts (the whole algorithm family), per-vertex and per-edge
+// counts, sampling estimators, k-tip/k-wing peeling, and batch edge
+// mutations applied through the dynamic counter with copy-on-write
+// versioned snapshots.
+//
+// Production machinery: per-request deadlines threaded into the
+// counting loops, a concurrency limiter with a bounded queue (429
+// load-shedding), an LRU result cache keyed by (graph, version,
+// query), /healthz and Prometheus-format /metrics, and graceful
+// shutdown that drains in-flight work on SIGINT/SIGTERM.
+//
+// Examples:
+//
+//	bfserved -addr :8080 -preload occupations@10
+//	bfserved -addr :8080 -max-inflight 8 -queue 32 -timeout 10s
+//	curl -s localhost:8080/graphs/occupations/count -d '{"threads": -1}'
+//
+// See docs/SERVING.md for the API reference and tuning guide.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"butterfly"
+	"butterfly/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "bfserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until shutdown. If ready is
+// non-nil it receives the bound address once the listener is up
+// (tests bind :0 and need the port).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("bfserved", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		maxInflight = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 0, "max queued requests before shedding 429s (0 = 4x max-inflight, -1 = no queue)")
+		cacheSize   = fs.Int("cache", 1024, "result cache entries (0 disables)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = fs.Duration("max-timeout", 5*time.Minute, "cap on client-requested timeout_ms")
+		drainWait   = fs.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
+		preload     = fs.String("preload", "", "comma-separated synthetic datasets to register at startup, each name[@scale]")
+		pathLoad    = fs.Bool("allow-path-load", false, "allow registering graphs from server-side file paths")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *queue,
+		NoQueue:        *queue < 0,
+		CacheEntries:   *cacheSize,
+		NoCache:        *cacheSize <= 0,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		AllowPathLoad:  *pathLoad,
+	}
+	srv := serve.New(cfg)
+
+	if *preload != "" {
+		for _, spec := range strings.Split(*preload, ",") {
+			name, scale := strings.TrimSpace(spec), 1
+			if at := strings.IndexByte(name, '@'); at >= 0 {
+				n, err := strconv.Atoi(name[at+1:])
+				if err != nil || n < 1 {
+					return fmt.Errorf("bad -preload entry %q (want name[@scale])", spec)
+				}
+				name, scale = name[:at], n
+			}
+			start := time.Now()
+			g, err := butterfly.GeneratePaperDataset(name, scale)
+			if err != nil {
+				return fmt.Errorf("preload %q: %w", spec, err)
+			}
+			sn, err := srv.Registry().Register(name, g, false)
+			if err != nil {
+				return fmt.Errorf("preload %q: %w", spec, err)
+			}
+			log.Printf("preloaded %s v%d: %s, %d butterflies (%.2fs)",
+				name, sn.Version, sn.Graph, sn.Count, time.Since(start).Seconds())
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("bfserved listening on %s (max-inflight=%d queue=%d cache=%d timeout=%s)",
+		ln.Addr(), *maxInflight, *queue, *cacheSize, *timeout)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: flip /healthz to draining (load balancers
+	// stop routing), then let Shutdown drain in-flight requests up to
+	// -drain before forcing the listener closed.
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v, draining (up to %s)", sig, *drainWait)
+		srv.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		log.Printf("drained, exiting")
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

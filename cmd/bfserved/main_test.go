@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"butterfly/client"
+	"butterfly/serveapi"
+)
+
+// TestRunServeAndShutdown boots the daemon on an ephemeral port with a
+// preloaded dataset, exercises the API end to end, then delivers
+// SIGTERM and checks the graceful drain path returns cleanly.
+func TestRunServeAndShutdown(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-preload", "occupations@100",
+			"-drain", "5s",
+		}, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New("http://" + addr)
+
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	if h.Graphs != 1 {
+		t.Fatalf("preload registered %d graphs, want 1", h.Graphs)
+	}
+	info, err := c.GraphInfo(ctx, "occupations")
+	if err != nil {
+		t.Fatalf("graph info: %v", err)
+	}
+	resp, err := c.Count(ctx, "occupations", serveapi.CountRequest{Threads: -1})
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	if resp.Butterflies != info.Butterflies {
+		t.Fatalf("count %d != preload count %d", resp.Butterflies, info.Butterflies)
+	}
+
+	// Graceful shutdown: the run goroutine catches SIGTERM, drains and
+	// returns nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-preload", "occupations@zero", "-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("bad -preload scale accepted")
+	}
+	if err := run([]string{"-preload", "no-such-dataset", "-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("unknown -preload dataset accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package butterfly
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -120,6 +121,59 @@ func (a Algorithm) String() string {
 	}
 }
 
+// HubPolicy selects how the hybrid intersection kernel treats dense
+// ("hub") exposed vertices during counting. Every policy returns the
+// exact count; the policy only trades the sparse wedge-accumulator
+// path against the bitset path.
+type HubPolicy int
+
+const (
+	// HubAuto (the default) picks per vertex from the kernel's cost
+	// model.
+	HubAuto HubPolicy = iota
+	// HubNever forces the sparse accumulator path everywhere.
+	HubNever
+	// HubAlways forces the bitset path wherever a candidate range
+	// exists.
+	HubAlways
+)
+
+// String names the policy.
+func (p HubPolicy) String() string {
+	switch p {
+	case HubAuto:
+		return "auto"
+	case HubNever:
+		return "never"
+	case HubAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("HubPolicy(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the three policies.
+func (p HubPolicy) Valid() bool { return p >= HubAuto && p <= HubAlways }
+
+// Arena is a reusable pool of counting workspaces. Passing the same
+// Arena to repeated counts (CountOptions.Arena) makes the steady state
+// allocation-free — the win measured in docs/PERFORMANCE.md for
+// peeling rounds and repeated-query serving. The zero value is not
+// usable; construct with NewArena. Safe for concurrent use.
+type Arena struct {
+	a *core.Arena
+}
+
+// NewArena returns an empty workspace pool.
+func NewArena() *Arena { return &Arena{a: core.NewArena()} }
+
+func (a *Arena) internal() *core.Arena {
+	if a == nil {
+		return nil
+	}
+	return a.a
+}
+
 // CountOptions configures CountWith.
 type CountOptions struct {
 	// Algorithm selects the implementation; the zero value is the
@@ -136,6 +190,15 @@ type CountOptions struct {
 	BlockSize int
 	// Order optionally relabels vertices first.
 	Order Order
+	// Hub selects the hybrid intersection kernel policy for dense
+	// exposed vertices (AlgorithmFamily only). The zero value HubAuto
+	// chooses per vertex from a cost model; HubNever and HubAlways pin
+	// one path. Every policy returns the exact count.
+	Hub HubPolicy
+	// Arena optionally supplies a workspace pool reused across counts;
+	// nil allocates fresh scratch per run (AlgorithmFamily only). See
+	// NewArena.
+	Arena *Arena
 }
 
 // Count returns the exact number of butterflies using the
@@ -150,8 +213,25 @@ func (g *Graph) CountParallel(threads int) int64 {
 	return core.CountWith(g.g, core.Options{Threads: threads})
 }
 
-// CountWith counts with full control over algorithm selection.
+// CountWith counts with full control over algorithm selection. It is
+// equivalent to CountWithContext with context.Background().
 func (g *Graph) CountWith(opts CountOptions) (int64, error) {
+	return g.CountWithContext(context.Background(), opts)
+}
+
+// CountWithContext is CountWith with cooperative cancellation: when
+// ctx is cancelled (deadline, timeout or explicit cancel) the call
+// returns promptly with ctx.Err() and a zero count.
+//
+// For AlgorithmFamily the cancellation flag is polled inside the core
+// counting loops — between exposed vertices sequentially, between
+// schedule units in parallel — so the workers themselves stop within a
+// bounded slice of work and no goroutine outlives the call. For the
+// baseline algorithms (which have no checkpoints in their inner loops)
+// the count runs in a helper goroutine that is abandoned on
+// cancellation: the call still returns promptly, but the goroutine
+// finishes its count in the background and discards the result.
+func (g *Graph) CountWithContext(ctx context.Context, opts CountOptions) (int64, error) {
 	if g == nil || g.g == nil {
 		return 0, errNilGraph
 	}
@@ -160,6 +240,9 @@ func (g *Graph) CountWith(opts CountOptions) (int64, error) {
 	}
 	if opts.BlockSize < 0 {
 		return 0, fmt.Errorf("butterfly: negative block size %d", opts.BlockSize)
+	}
+	if !opts.Hub.Valid() {
+		return 0, fmt.Errorf("butterfly: invalid hub policy %v", opts.Hub)
 	}
 	ord, err := opts.Order.internal()
 	if err != nil {
@@ -175,24 +258,42 @@ func (g *Graph) CountWith(opts CountOptions) (int64, error) {
 	}
 	switch opts.Algorithm {
 	case AlgorithmFamily:
-		return core.CountWith(gg, core.Options{
+		return core.CountContext(ctx, gg, core.Options{
 			Invariant: core.Invariant(opts.Invariant),
 			Threads:   threads,
 			BlockSize: opts.BlockSize,
-		}), nil
+			Hub:       core.HubPolicy(opts.Hub),
+			Arena:     opts.Arena.internal(),
+		})
 	case AlgorithmWedgeHash, AlgorithmVertexPriority, AlgorithmSortAggregate, AlgorithmSpGEMM:
 		if opts.Invariant != InvariantAuto {
 			return 0, fmt.Errorf("butterfly: Invariant is only meaningful with AlgorithmFamily, got %v with %v", opts.Invariant, opts.Algorithm)
 		}
-		switch opts.Algorithm {
-		case AlgorithmWedgeHash:
-			return baseline.CountWedgeHash(gg), nil
-		case AlgorithmVertexPriority:
-			return baseline.CountVertexPriorityParallel(gg, threads), nil
-		case AlgorithmSortAggregate:
-			return baseline.CountSortAggregate(gg, threads), nil
-		default:
-			return core.CountSpGEMMParallel(gg, threads), nil
+		run := func() int64 {
+			switch opts.Algorithm {
+			case AlgorithmWedgeHash:
+				return baseline.CountWedgeHash(gg)
+			case AlgorithmVertexPriority:
+				return baseline.CountVertexPriorityParallel(gg, threads)
+			case AlgorithmSortAggregate:
+				return baseline.CountSortAggregate(gg, threads)
+			default:
+				return core.CountSpGEMMParallel(gg, threads)
+			}
+		}
+		if ctx.Done() == nil {
+			return run(), nil
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		done := make(chan int64, 1)
+		go func() { done <- run() }()
+		select {
+		case c := <-done:
+			return c, nil
+		case <-ctx.Done():
+			return 0, ctx.Err()
 		}
 	default:
 		return 0, fmt.Errorf("butterfly: invalid algorithm %v", opts.Algorithm)

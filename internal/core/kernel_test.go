@@ -134,7 +134,7 @@ func TestQuickForcedSpillExactness(t *testing.T) {
 		for _, inv := range Invariants() {
 			for _, pol := range allPolicies {
 				for _, threads := range []int{2, 4, 8} {
-					if countParallelTuned(g, inv, threads, pol, nil, tun) != want {
+					if countParallelTuned(g, inv, threads, pol, nil, tun, nil) != want {
 						return false
 					}
 				}
@@ -154,7 +154,7 @@ func TestForcedSpillPowerLaw(t *testing.T) {
 		want := Count(g, inv)
 		for _, pol := range allPolicies {
 			for _, threads := range []int{2, 4, 8} {
-				if got := countParallelTuned(g, inv, threads, pol, nil, tun); got != want {
+				if got := countParallelTuned(g, inv, threads, pol, nil, tun, nil); got != want {
 					t.Fatalf("%v %v threads=%d: %d, want %d", inv, pol, threads, got, want)
 				}
 			}

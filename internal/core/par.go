@@ -30,13 +30,18 @@ import (
 // Every path computes the same integer wedge multiplicities, so the
 // result is bit-identical to the sequential algorithm (asserted by the
 // tests) for every policy, tuning and thread count.
-func countParallel(g *graph.Bipartite, inv Invariant, threads int, pol HubPolicy, a *Arena) int64 {
-	return countParallelTuned(g, inv, threads, pol, a, schedTuning{})
+// A non-nil stop flag is polled by every worker between schedule
+// units (and by the threads≤1 fallback between exposed vertices); a
+// raised flag makes workers abandon the cursor race, so the whole pool
+// drains within one unit's worth of work. The partial total returned
+// after an abort is unspecified — CountContext discards it.
+func countParallel(g *graph.Bipartite, inv Invariant, threads int, pol HubPolicy, a *Arena, stop *atomic.Bool) int64 {
+	return countParallelTuned(g, inv, threads, pol, a, schedTuning{}, stop)
 }
 
 // countParallelTuned is countParallel with explicit scheduler tuning;
 // tests shrink the budgets to force hub splitting on small graphs.
-func countParallelTuned(g *graph.Bipartite, inv Invariant, threads int, pol HubPolicy, a *Arena, tun schedTuning) int64 {
+func countParallelTuned(g *graph.Bipartite, inv Invariant, threads int, pol HubPolicy, a *Arena, tun schedTuning, stop *atomic.Bool) int64 {
 	desc, above := inv.geometry()
 	exposed, secondary := orient(g, inv)
 	nExp := exposed.R
@@ -58,6 +63,9 @@ func countParallelTuned(g *graph.Bipartite, inv Invariant, threads int, pol HubP
 		defer kn.release()
 		var total int64
 		for idx := 0; idx < nExp; idx++ {
+			if idx&stopStride == 0 && stopped(stop) {
+				return total
+			}
 			k := idx
 			if desc {
 				k = nExp - 1 - idx
@@ -89,7 +97,7 @@ func countParallelTuned(g *graph.Bipartite, inv Invariant, threads int, pol HubP
 			var local int64
 			for {
 				i := int(cursor.Add(1)) - 1
-				if i >= nUnits {
+				if i >= nUnits || stopped(stop) {
 					break
 				}
 				u := &sched.units[i]
@@ -114,8 +122,11 @@ func countParallelTuned(g *graph.Bipartite, inv Invariant, threads int, pol HubP
 	wg.Wait()
 
 	// Phase 2: reduce split-hub partials. Spills are rare (one per hub
-	// above the spill budget), so a small second pool suffices.
-	if len(sched.spills) > 0 {
+	// above the spill budget), so a small second pool suffices. An
+	// aborted phase 1 may have left nil segments in parts; the whole
+	// reduction is skipped then — the partial total is discarded by the
+	// cancelling caller anyway.
+	if len(sched.spills) > 0 && !stopped(stop) {
 		reducers := threads
 		if reducers > len(sched.spills) {
 			reducers = len(sched.spills)

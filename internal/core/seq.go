@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"butterfly/internal/graph"
 	"butterfly/internal/sparse"
@@ -23,8 +24,10 @@ func countSeq(g *graph.Bipartite, inv Invariant) int64 {
 // countSeqHub is the sequential traversal through the hybrid kernel:
 // identical counts to countSeq, but dense exposed vertices may take the
 // bitset path per the policy's cost model, and scratch state comes from
-// the (optional) arena.
-func countSeqHub(g *graph.Bipartite, inv Invariant, pol HubPolicy, a *Arena) int64 {
+// the (optional) arena. A non-nil stop flag is polled between exposed
+// vertices — a point where the workspace is at rest, so an aborted run
+// still returns a clean workspace to the arena.
+func countSeqHub(g *graph.Bipartite, inv Invariant, pol HubPolicy, a *Arena, stop *atomic.Bool) int64 {
 	desc, above := inv.geometry()
 	exposed, secondary := orient(g, inv)
 	if pol == HubNever {
@@ -32,13 +35,16 @@ func countSeqHub(g *graph.Bipartite, inv Invariant, pol HubPolicy, a *Arena) int
 		// arena makes repeated counts allocation-free.
 		ws := a.get(exposed.R)
 		defer a.put(ws)
-		return countFamilyWith(ws.acc, ws.touched, exposed, secondary, desc, above)
+		return countFamilyStop(ws.acc, ws.touched, exposed, secondary, desc, above, stop)
 	}
 	kn := newKernShared(exposed, secondary, above, pol, nil).worker(a)
 	defer kn.release()
 	nExp := exposed.R
 	var total int64
 	for idx := 0; idx < nExp; idx++ {
+		if idx&stopStride == 0 && stopped(stop) {
+			return total
+		}
 		k := idx
 		if desc {
 			k = nExp - 1 - idx
@@ -47,6 +53,11 @@ func countSeqHub(g *graph.Bipartite, inv Invariant, pol HubPolicy, a *Arena) int
 	}
 	return total
 }
+
+// stopStride masks the iteration index for cancellation polls: a
+// checkpoint every 256 exposed vertices keeps the poll off the hot
+// wedge loop while bounding abort latency to a few hundred rows.
+const stopStride = 0xFF
 
 // countFamily implements the shared wedge-accumulation kernel behind
 // all eight invariants (the paper's update (18) with the subtraction
@@ -70,10 +81,22 @@ func countFamily(exposed, secondary *sparse.CSR, desc, above bool) int64 {
 // (len(acc) ≥ exposed.R, all zero; touched empty). Both come back in
 // that state, so a Counter can reuse them across calls.
 func countFamilyWith(acc, touched []int32, exposed, secondary *sparse.CSR, desc, above bool) int64 {
+	return countFamilyStop(acc, touched, exposed, secondary, desc, above, nil)
+}
+
+// countFamilyStop is countFamilyWith with a cancellation flag polled
+// every stopStride+1 exposed vertices. The poll sits at the iteration
+// boundary, after the previous iteration's flush, so the accumulator is
+// all-zero and touched empty whenever the loop aborts — the buffer
+// at-rest invariant holds for partial runs too.
+func countFamilyStop(acc, touched []int32, exposed, secondary *sparse.CSR, desc, above bool, stop *atomic.Bool) int64 {
 	nExp := exposed.R
 	var total int64
 
 	for idx := 0; idx < nExp; idx++ {
+		if idx&stopStride == 0 && stopped(stop) {
+			return total
+		}
 		k := idx
 		if desc {
 			k = nExp - 1 - idx
@@ -139,8 +162,10 @@ func searchInt32(s []int32, x int32) int {
 // accumulated per exposed vertex against the block-external partner
 // region, then block-internal pairs are handled within the block, which
 // keeps the accumulator's working set block-local for the second pass.
-// The count is identical to the unblocked algorithm for every invariant.
-func countBlocked(g *graph.Bipartite, inv Invariant, block int) int64 {
+// The count is identical to the unblocked algorithm for every
+// invariant. A non-nil stop flag is polled once per block (blocks are
+// small, so abort latency stays bounded).
+func countBlocked(g *graph.Bipartite, inv Invariant, block int, stop *atomic.Bool) int64 {
 	desc, above := inv.geometry()
 	var exposed, secondary *sparse.CSR
 	if inv.PartitionsV2() {
@@ -155,6 +180,9 @@ func countBlocked(g *graph.Bipartite, inv Invariant, block int) int64 {
 	var total int64
 
 	for b0 := 0; b0 < nExp; b0 += block {
+		if stopped(stop) {
+			return total
+		}
 		b1 := b0 + block
 		if b1 > nExp {
 			b1 = nExp

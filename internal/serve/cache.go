@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is an LRU cache of rendered JSON response bodies keyed
+// by "(graph name, graph version, normalized query)". Because the
+// version participates in the key, a mutation batch implicitly
+// invalidates every cached result of the old version — there is no
+// explicit invalidation path to get wrong. Stale-version entries age
+// out through the LRU policy.
+//
+// Only pure queries are cached (count, vertex/edge counts, peels,
+// seeded estimates); mutations and registrations never touch the
+// cache.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int // ≤ 0 disables the cache
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheItem struct {
+	key  string
+	body []byte
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, promoting it to most recently
+// used. The returned slice must not be modified.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).body, true
+}
+
+// put stores body under key, evicting the least recently used entry
+// when over capacity. body must not be modified after the call.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, body: body})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheItem).key)
+	}
+}
+
+// stats returns cumulative hit/miss counters and the current size.
+func (c *resultCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errShed reports that the admission queue was full — the caller
+// should answer 429.
+var errShed = errors.New("serve: overloaded, request shed")
+
+// limiter is the admission controller: at most maxInFlight requests
+// execute concurrently and at most maxQueue more wait for a slot.
+// Anything beyond that is shed immediately — under overload the
+// server degrades to fast 429s instead of collapsing under unbounded
+// goroutine and memory growth, and queued requests still honor their
+// deadline while waiting.
+type limiter struct {
+	sem      chan struct{} // buffered to maxInFlight; a token = an execution slot
+	maxQueue int64
+	queued   atomic.Int64 // current waiters
+	shed     atomic.Uint64
+}
+
+func newLimiter(maxInFlight, maxQueue int) *limiter {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &limiter{sem: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if
+// necessary. It returns errShed when the queue is full and ctx.Err()
+// when the request deadline expires (or the client disconnects) while
+// queued. A nil return must be paired with exactly one release.
+func (l *limiter) acquire(ctx context.Context) error {
+	// Fast path: free slot, no queueing.
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shed.Add(1)
+		return errShed
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (l *limiter) release() { <-l.sem }
+
+// inFlight returns the number of requests currently executing.
+func (l *limiter) inFlight() int { return len(l.sem) }
+
+// queueDepth returns the number of requests waiting for a slot.
+func (l *limiter) queueDepth() int64 { return l.queued.Load() }
+
+// shedTotal returns the cumulative number of shed requests.
+func (l *limiter) shedTotal() uint64 { return l.shed.Load() }

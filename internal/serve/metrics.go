@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram — half-decade spacing from 1 ms to 10 s, which brackets
+// everything from a cache hit to a full-size parallel count.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// metrics collects the server's counters. Everything is either atomic
+// or guarded by mu; rendering takes a consistent-enough point-in-time
+// view (Prometheus scrapes tolerate per-series skew).
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64 // "route\x00code" → count
+
+	bucketCounts [numBuckets + 1]atomic.Uint64 // +Inf is the last slot
+	latencySum   atomic.Uint64                 // microseconds, to stay integral
+	latencyCount atomic.Uint64
+}
+
+// numBuckets mirrors len(latencyBuckets); array sizes need a constant.
+const numBuckets = 7
+
+func init() {
+	if len(latencyBuckets) != numBuckets {
+		panic("serve: numBuckets out of sync with latencyBuckets")
+	}
+}
+
+func newMetrics() *metrics {
+	return &metrics{requests: make(map[string]uint64)}
+}
+
+// observe records one finished request: its route, HTTP status code
+// and latency.
+func (m *metrics) observe(route string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s\x00%d", route, code)]++
+	m.mu.Unlock()
+
+	s := elapsed.Seconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if s <= latencyBuckets[i] {
+			break
+		}
+	}
+	m.bucketCounts[i].Add(1)
+	m.latencySum.Add(uint64(elapsed.Microseconds()))
+	m.latencyCount.Add(1)
+}
+
+// write renders the Prometheus text exposition format. The server
+// passes itself in so gauges (queue depth, in-flight, cache size,
+// per-graph version/edges) reflect scrape-time state.
+func (m *metrics) write(w io.Writer, s *Server) {
+	// Request counters.
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintln(w, "# HELP bfserved_requests_total Finished HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE bfserved_requests_total counter")
+	for _, k := range keys {
+		route, code := k, ""
+		for i := 0; i < len(k); i++ {
+			if k[i] == 0 {
+				route, code = k[:i], k[i+1:]
+				break
+			}
+		}
+		fmt.Fprintf(w, "bfserved_requests_total{route=%q,code=%q} %d\n", route, code, m.requests[k])
+	}
+	m.mu.Unlock()
+
+	// Latency histogram.
+	fmt.Fprintln(w, "# HELP bfserved_request_seconds Latency of finished HTTP requests.")
+	fmt.Fprintln(w, "# TYPE bfserved_request_seconds histogram")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += m.bucketCounts[i].Load()
+		fmt.Fprintf(w, "bfserved_request_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.bucketCounts[numBuckets].Load()
+	fmt.Fprintf(w, "bfserved_request_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "bfserved_request_seconds_sum %g\n", float64(m.latencySum.Load())/1e6)
+	fmt.Fprintf(w, "bfserved_request_seconds_count %d\n", m.latencyCount.Load())
+
+	// Cache.
+	hits, misses, size := s.cache.stats()
+	fmt.Fprintln(w, "# HELP bfserved_cache_hits_total Result-cache hits.")
+	fmt.Fprintln(w, "# TYPE bfserved_cache_hits_total counter")
+	fmt.Fprintf(w, "bfserved_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP bfserved_cache_misses_total Result-cache misses.")
+	fmt.Fprintln(w, "# TYPE bfserved_cache_misses_total counter")
+	fmt.Fprintf(w, "bfserved_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP bfserved_cache_entries Result-cache current size.")
+	fmt.Fprintln(w, "# TYPE bfserved_cache_entries gauge")
+	fmt.Fprintf(w, "bfserved_cache_entries %d\n", size)
+	if hits+misses > 0 {
+		fmt.Fprintln(w, "# HELP bfserved_cache_hit_ratio Hits / (hits + misses) since start.")
+		fmt.Fprintln(w, "# TYPE bfserved_cache_hit_ratio gauge")
+		fmt.Fprintf(w, "bfserved_cache_hit_ratio %g\n", float64(hits)/float64(hits+misses))
+	}
+
+	// Admission control.
+	fmt.Fprintln(w, "# HELP bfserved_in_flight Requests currently executing.")
+	fmt.Fprintln(w, "# TYPE bfserved_in_flight gauge")
+	fmt.Fprintf(w, "bfserved_in_flight %d\n", s.lim.inFlight())
+	fmt.Fprintln(w, "# HELP bfserved_queue_depth Requests waiting for an execution slot.")
+	fmt.Fprintln(w, "# TYPE bfserved_queue_depth gauge")
+	fmt.Fprintf(w, "bfserved_queue_depth %d\n", s.lim.queueDepth())
+	fmt.Fprintln(w, "# HELP bfserved_shed_total Requests rejected with 429 because the queue was full.")
+	fmt.Fprintln(w, "# TYPE bfserved_shed_total counter")
+	fmt.Fprintf(w, "bfserved_shed_total %d\n", s.lim.shedTotal())
+
+	// Per-graph state.
+	snaps := s.reg.Snapshots()
+	fmt.Fprintln(w, "# HELP bfserved_graph_version Current version of each registered graph.")
+	fmt.Fprintln(w, "# TYPE bfserved_graph_version gauge")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "bfserved_graph_version{graph=%q} %d\n", sn.Name, sn.Version)
+	}
+	fmt.Fprintln(w, "# HELP bfserved_graph_edges Edge count of each registered graph's current version.")
+	fmt.Fprintln(w, "# TYPE bfserved_graph_edges gauge")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "bfserved_graph_edges{graph=%q} %d\n", sn.Name, sn.Graph.NumEdges())
+	}
+	fmt.Fprintln(w, "# HELP bfserved_graph_butterflies Exact butterfly count of each registered graph's current version.")
+	fmt.Fprintln(w, "# TYPE bfserved_graph_butterflies gauge")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "bfserved_graph_butterflies{graph=%q} %d\n", sn.Name, sn.Count)
+	}
+}

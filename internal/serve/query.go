@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"butterfly"
+	"butterfly/serveapi"
+)
+
+// badRequestError marks validation failures that should answer 400.
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badReqf(format string, args ...any) error {
+	return badRequestError{fmt.Sprintf(format, args...)}
+}
+
+func parseSide(s string) (butterfly.Side, error) {
+	switch s {
+	case "", "v1":
+		return butterfly.V1, nil
+	case "v2":
+		return butterfly.V2, nil
+	default:
+		return 0, badReqf("unknown side %q (want v1|v2)", s)
+	}
+}
+
+// countOptions validates a CountRequest into CountOptions.
+func countOptions(req *serveapi.CountRequest) (butterfly.CountOptions, error) {
+	var opts butterfly.CountOptions
+	switch req.Algorithm {
+	case "", "family":
+		opts.Algorithm = butterfly.AlgorithmFamily
+	case "wedge-hash":
+		opts.Algorithm = butterfly.AlgorithmWedgeHash
+	case "vertex-priority":
+		opts.Algorithm = butterfly.AlgorithmVertexPriority
+	case "sort-aggregate":
+		opts.Algorithm = butterfly.AlgorithmSortAggregate
+	case "spgemm":
+		opts.Algorithm = butterfly.AlgorithmSpGEMM
+	default:
+		return opts, badReqf("unknown algorithm %q", req.Algorithm)
+	}
+	opts.Invariant = butterfly.Invariant(req.Invariant)
+	if !opts.Invariant.Valid() {
+		return opts, badReqf("invariant must be 0-8, got %d", req.Invariant)
+	}
+	if opts.Algorithm != butterfly.AlgorithmFamily && opts.Invariant != butterfly.InvariantAuto {
+		return opts, badReqf("invariant is only meaningful with the family algorithm")
+	}
+	switch req.Hub {
+	case "", "auto":
+		opts.Hub = butterfly.HubAuto
+	case "never":
+		opts.Hub = butterfly.HubNever
+	case "always":
+		opts.Hub = butterfly.HubAlways
+	default:
+		return opts, badReqf("unknown hub policy %q (want auto|never|always)", req.Hub)
+	}
+	switch req.Order {
+	case "", "natural":
+		opts.Order = butterfly.OrderNatural
+	case "degree-asc":
+		opts.Order = butterfly.OrderDegreeAsc
+	case "degree-desc":
+		opts.Order = butterfly.OrderDegreeDesc
+	default:
+		return opts, badReqf("unknown order %q", req.Order)
+	}
+	if req.BlockSize < 0 {
+		return opts, badReqf("block must be ≥ 0, got %d", req.BlockSize)
+	}
+	opts.BlockSize = req.BlockSize
+	opts.Threads = req.Threads
+	return opts, nil
+}
+
+// Cache keys. A key captures everything that can change the response
+// body and nothing else. The exact count is invariant across all
+// algorithms, invariants, hub policies, orders and thread counts —
+// that equivalence is the paper's core result and is what makes the
+// single "count" key sound: a count served from cache is identical to
+// a count computed by any family member. Performance knobs therefore
+// never fragment the cache.
+const (
+	keyCount = "count"
+	keyEdges = "edge-supports"
+)
+
+func keyVertex(side butterfly.Side, top int) string {
+	return fmt.Sprintf("vertex|%v|top=%d", side, top)
+}
+
+func keyEstimate(req *serveapi.EstimateRequest) string {
+	return fmt.Sprintf("estimate|%s|samples=%d|p=%g|seed=%d", req.Strategy, req.Samples, req.P, req.Seed)
+}
+
+func keyPeel(mode string, k int64, side butterfly.Side) string {
+	if mode == "wing" {
+		return fmt.Sprintf("peel|wing|k=%d", k)
+	}
+	return fmt.Sprintf("peel|tip|k=%d|%v", k, side)
+}
+
+// execCount runs an exact count on the snapshot with true cooperative
+// cancellation (the ctx is threaded into the core counting loops).
+func (s *Server) execCount(ctx context.Context, snap *Snapshot, req *serveapi.CountRequest) (*serveapi.CountResponse, error) {
+	opts, err := countOptions(req)
+	if err != nil {
+		return nil, err
+	}
+	opts.Arena = s.arena
+	c, err := snap.Graph.CountWithContext(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &serveapi.CountResponse{Graph: snap.Name, Version: snap.Version, Butterflies: c}, nil
+}
+
+// execVertexCounts computes per-vertex butterfly counts and keeps the
+// top-K. Runs under runAbandon (no checkpoints inside the vector
+// kernel yet).
+func (s *Server) execVertexCounts(ctx context.Context, sl *slot, snap *Snapshot, side butterfly.Side, top int) (*serveapi.VertexCountsResponse, error) {
+	counts, err := runAbandon(ctx, sl, func() ([]int64, error) {
+		return snap.Graph.VertexButterflies(side)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	idx := make([]int, len(counts))
+	for i, c := range counts {
+		total += c
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if counts[idx[a]] != counts[idx[b]] {
+			return counts[idx[a]] > counts[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if top > 0 && top < len(idx) {
+		idx = idx[:top]
+	}
+	vs := make([]serveapi.VertexCount, len(idx))
+	for i, v := range idx {
+		vs[i] = serveapi.VertexCount{Vertex: v, Count: counts[v]}
+	}
+	return &serveapi.VertexCountsResponse{
+		Graph: snap.Name, Version: snap.Version,
+		Side: strings.ToLower(side.String()), Total: total, Vertices: vs,
+	}, nil
+}
+
+// execEdgeSupports computes per-edge butterfly supports, top-K by
+// support.
+func (s *Server) execEdgeSupports(ctx context.Context, sl *slot, snap *Snapshot, top int) (*serveapi.EdgeSupportsResponse, error) {
+	supports, err := runAbandon(ctx, sl, func() ([]butterfly.EdgeCount, error) {
+		return snap.Graph.EdgeSupports(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, e := range supports {
+		total += e.Count
+	}
+	sort.Slice(supports, func(a, b int) bool {
+		if supports[a].Count != supports[b].Count {
+			return supports[a].Count > supports[b].Count
+		}
+		if supports[a].U != supports[b].U {
+			return supports[a].U < supports[b].U
+		}
+		return supports[a].V < supports[b].V
+	})
+	if top > 0 && top < len(supports) {
+		supports = supports[:top]
+	}
+	es := make([]serveapi.EdgeSupport, len(supports))
+	for i, e := range supports {
+		es[i] = serveapi.EdgeSupport{U: e.U, V: e.V, Count: e.Count}
+	}
+	return &serveapi.EdgeSupportsResponse{
+		Graph: snap.Name, Version: snap.Version, Total: total, Edges: es,
+	}, nil
+}
+
+// execEstimate runs a sampling estimator (deterministic given the
+// seed, hence cacheable).
+func (s *Server) execEstimate(ctx context.Context, sl *slot, snap *Snapshot, req *serveapi.EstimateRequest) (*serveapi.EstimateResponse, error) {
+	opts := butterfly.EstimateOptions{Samples: req.Samples, P: req.P, Seed: req.Seed}
+	switch req.Strategy {
+	case "vertices":
+		opts.Strategy = butterfly.SampleVertices
+	case "edges":
+		opts.Strategy = butterfly.SampleEdges
+	case "sparsify":
+		opts.Strategy = butterfly.SampleSparsify
+	default:
+		return nil, badReqf("unknown strategy %q (want vertices|edges|sparsify)", req.Strategy)
+	}
+	est, err := runAbandon(ctx, sl, func() (float64, error) {
+		est, err := snap.Graph.EstimateCount(opts)
+		if err != nil {
+			return 0, badRequestError{err.Error()}
+		}
+		return est, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &serveapi.EstimateResponse{Graph: snap.Name, Version: snap.Version, Estimate: est}, nil
+}
+
+// execPeel runs a k-tip or k-wing peel and summarizes the surviving
+// subgraph.
+func (s *Server) execPeel(ctx context.Context, sl *slot, snap *Snapshot, req *serveapi.PeelRequest) (*serveapi.PeelResponse, error) {
+	if req.K < 0 {
+		return nil, badReqf("k must be ≥ 0, got %d", req.K)
+	}
+	side, err := parseSide(req.Side)
+	if err != nil {
+		return nil, err
+	}
+	var mode string
+	switch req.Mode {
+	case "tip":
+		mode = "tip"
+	case "wing":
+		mode = "wing"
+	default:
+		return nil, badReqf("unknown mode %q (want tip|wing)", req.Mode)
+	}
+	sub, err := runAbandon(ctx, sl, func() (*butterfly.Graph, error) {
+		if mode == "wing" {
+			return snap.Graph.KWingParallel(req.K, req.Threads)
+		}
+		return snap.Graph.KTipParallel(req.K, side, req.Threads)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &serveapi.PeelResponse{
+		Graph: snap.Name, Version: snap.Version, Mode: mode, K: req.K,
+		EdgesRemaining: sub.NumEdges(), Butterflies: sub.Count(),
+	}, nil
+}
+
+// slot is a claimed execution slot of the admission limiter whose
+// release can be handed over to a background goroutine when a
+// computation is abandoned on deadline. States: held (by the request
+// goroutine) → transferred (to the abandoned computation) → released.
+// Exactly one transition releases the limiter.
+type slot struct {
+	lim   *limiter
+	state atomic.Int32
+}
+
+const (
+	slotHeld int32 = iota
+	slotTransferred
+	slotReleased
+)
+
+// release frees the slot if the request goroutine still owns it; the
+// handler defers it so every early-exit path is covered.
+func (sl *slot) release() {
+	if sl != nil && sl.state.CompareAndSwap(slotHeld, slotReleased) {
+		sl.lim.release()
+	}
+}
+
+// transfer hands ownership to a background goroutine: the handler's
+// deferred release becomes a no-op and releaseOwned frees the slot
+// when the computation actually finishes. This keeps the limiter's
+// accounting honest — an abandoned count still occupies CPU, so it
+// must keep occupying an execution slot until it is done.
+func (sl *slot) transfer() { sl.state.CompareAndSwap(slotHeld, slotTransferred) }
+
+// releaseOwned frees the slot from the computation goroutine,
+// whichever side currently owns it.
+func (sl *slot) releaseOwned() {
+	if sl.state.CompareAndSwap(slotTransferred, slotReleased) ||
+		sl.state.CompareAndSwap(slotHeld, slotReleased) {
+		sl.lim.release()
+	}
+}
+
+// runAbandon runs f in a helper goroutine and returns its result, or
+// returns promptly with ctx.Err() on cancellation. On cancellation
+// the goroutine finishes in the background, discards its result, and
+// releases the execution slot only when it is truly done — used for
+// the query kernels that do not yet have cancellation checkpoints of
+// their own. With a non-cancellable ctx, f runs inline and slot
+// handling is left entirely to the caller's defer.
+func runAbandon[T any](ctx context.Context, sl *slot, f func() (T, error)) (T, error) {
+	if ctx.Done() == nil {
+		return f()
+	}
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := f()
+		sl.releaseOwned()
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		sl.transfer()
+		return zero, ctx.Err()
+	}
+}

@@ -1,0 +1,242 @@
+// Package serve implements bfserved: a concurrent butterfly query
+// service over a registry of named bipartite graphs.
+//
+// The design splits each graph into a mutable authority and immutable
+// views. The authority is a DynamicCounter guarded by a per-graph
+// mutex; mutation batches stream through it edge by edge (each a local
+// wedge sweep, never a recount) and finish by materializing a fresh
+// immutable Graph that is atomically published together with a bumped
+// version number. Readers never lock: they grab the current Snapshot
+// pointer and keep counting on it even while later batches publish new
+// versions — copy-on-write snapshot isolation. The (graph, version)
+// pair also keys the result cache, so cached results can never serve a
+// stale edge set.
+//
+// Around the registry sit the production pieces: a concurrency
+// limiter with a bounded admission queue (429 load-shedding), per-
+// request deadlines threaded into the counting loops via
+// CountWithContext, an LRU result cache, Prometheus-format metrics,
+// and draining shutdown. See docs/SERVING.md.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"butterfly"
+)
+
+// Snapshot is one immutable published version of a registered graph.
+// Everything reachable from it is read-only, so any number of queries
+// may use it concurrently, indefinitely, regardless of later
+// mutations.
+type Snapshot struct {
+	// Name of the registered graph.
+	Name string
+	// Version starts at 1 when the graph is registered and increments
+	// once per mutation batch.
+	Version uint64
+	// Graph is the immutable edge set of this version.
+	Graph *butterfly.Graph
+	// Count is the exact butterfly count at this version, maintained
+	// incrementally by the dynamic counter (O(1) to read here).
+	Count int64
+}
+
+// MutateResult reports the effect of one mutation batch.
+type MutateResult struct {
+	Version   uint64 // version of the snapshot the batch produced
+	Inserted  int    // edges actually added (duplicates excluded)
+	Deleted   int    // edges actually removed (misses excluded)
+	Created   int64  // butterflies created by the inserts
+	Destroyed int64  // butterflies destroyed by the deletes
+	Count     int64  // butterfly count of the new version
+	Edges     int64  // edge count of the new version
+}
+
+// entry pairs a graph's mutable authority with its published snapshot.
+type entry struct {
+	name string
+	m, n int // immutable dimensions; validate mutations without locking
+
+	// mu serializes mutation batches (DynamicCounter is not safe for
+	// concurrent mutation). Readers never take it.
+	mu  sync.Mutex
+	dyn *butterfly.DynamicCounter
+
+	// snap is the atomically published current version.
+	snap atomic.Pointer[Snapshot]
+}
+
+// Registry is a concurrency-safe collection of named versioned graphs.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// ErrNotFound reports a query against an unregistered graph name.
+type ErrNotFound struct{ Name string }
+
+func (e ErrNotFound) Error() string { return fmt.Sprintf("graph %q not registered", e.Name) }
+
+// ErrExists reports a Register without Replace over an existing name.
+type ErrExists struct{ Name string }
+
+func (e ErrExists) Error() string { return fmt.Sprintf("graph %q already registered", e.Name) }
+
+// Register publishes g under name at version 1. Registration computes
+// the initial exact count once (seeding the dynamic counter); replace
+// permits overwriting an existing name.
+func (r *Registry) Register(name string, g *butterfly.Graph, replace bool) (*Snapshot, error) {
+	if name == "" {
+		return nil, fmt.Errorf("empty graph name")
+	}
+	// Seed the authority outside the registry lock — the initial count
+	// is the expensive part and must not block unrelated lookups.
+	dyn := butterfly.NewDynamicCounterFromGraph(g)
+	e := &entry{name: name, m: g.NumV1(), n: g.NumV2(), dyn: dyn}
+	snap := &Snapshot{Name: name, Version: 1, Graph: g, Count: dyn.Count()}
+	e.snap.Store(snap)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok && !replace {
+		return nil, ErrExists{name}
+	}
+	r.entries[name] = e
+	return snap, nil
+}
+
+// Get returns the current snapshot of name.
+func (r *Registry) Get(name string) (*Snapshot, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound{name}
+	}
+	return e.snap.Load(), nil
+}
+
+// Drop removes name from the registry. In-flight queries holding a
+// snapshot finish unaffected.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return ErrNotFound{name}
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Snapshots returns the current snapshot of every registered graph,
+// sorted by name (the metrics exporter's view).
+func (r *Registry) Snapshots() []*Snapshot {
+	names := r.Names()
+	out := make([]*Snapshot, 0, len(names))
+	for _, n := range names {
+		if s, err := r.Get(n); err == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Mutate applies one batch — inserts first, then deletes — to name and
+// publishes the resulting version. The batch is atomic with respect to
+// readers: no query ever observes a half-applied batch, because
+// queries only see published snapshots and the new snapshot is
+// materialized after the whole batch has been applied. Endpoints
+// outside the graph's original dimensions fail the batch up front,
+// before any mutation is applied. Duplicate inserts and deletes of
+// absent edges are tolerated (counted in neither Inserted nor
+// Deleted).
+func (r *Registry) Mutate(name string, inserts, deletes [][2]int) (MutateResult, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return MutateResult{}, ErrNotFound{name}
+	}
+
+	// Validate the whole batch against the (immutable) dimensions
+	// first so the application loop below cannot fail half-way.
+	for _, op := range inserts {
+		if op[0] < 0 || op[0] >= e.m || op[1] < 0 || op[1] >= e.n {
+			return MutateResult{}, fmt.Errorf("insert (%d,%d) out of range %dx%d", op[0], op[1], e.m, e.n)
+		}
+	}
+	for _, op := range deletes {
+		if op[0] < 0 || op[0] >= e.m || op[1] < 0 || op[1] >= e.n {
+			return MutateResult{}, fmt.Errorf("delete (%d,%d) out of range %dx%d", op[0], op[1], e.m, e.n)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var res MutateResult
+	for _, op := range inserts {
+		added, created, err := e.dyn.InsertEdge(op[0], op[1])
+		if err != nil {
+			return MutateResult{}, err // unreachable: validated above
+		}
+		if added {
+			res.Inserted++
+			res.Created += created
+		}
+	}
+	for _, op := range deletes {
+		removed, destroyed, err := e.dyn.DeleteEdge(op[0], op[1])
+		if err != nil {
+			return MutateResult{}, err // unreachable: validated above
+		}
+		if removed {
+			res.Deleted++
+			res.Destroyed += destroyed
+		}
+	}
+
+	// Copy-on-write publish: materialize the new immutable graph and
+	// swap the snapshot pointer. Readers on the old pointer are
+	// untouched; new queries (and new cache keys) see the new version.
+	prev := e.snap.Load()
+	next := &Snapshot{
+		Name:    name,
+		Version: prev.Version + 1,
+		Graph:   e.dyn.Snapshot(),
+		Count:   e.dyn.Count(),
+	}
+	e.snap.Store(next)
+
+	res.Version = next.Version
+	res.Count = next.Count
+	res.Edges = next.Graph.NumEdges()
+	return res, nil
+}

@@ -1,0 +1,561 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"butterfly"
+	"butterfly/serveapi"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production-reasonable default, documented per field and in
+// docs/SERVING.md ("capacity tuning").
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests; ≤ 0 means
+	// GOMAXPROCS. Counting is CPU-bound, so there is no benefit to
+	// running more computations than cores — extra admissions only
+	// inflate every request's latency.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond
+	// it requests are shed with 429. ≤ 0 means 4 × MaxInFlight; use
+	// NoQueue for an unbuffered admission gate.
+	MaxQueue int
+	// NoQueue forces an empty admission queue (MaxQueue = 0).
+	NoQueue bool
+	// CacheEntries bounds the LRU result cache; ≤ 0 means 1024 unless
+	// NoCache is set.
+	CacheEntries int
+	// NoCache disables the result cache.
+	NoCache bool
+	// DefaultTimeout is the per-request deadline applied when a
+	// request does not carry timeout_ms; ≤ 0 means 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout_ms; ≤ 0 means 5m.
+	MaxTimeout time.Duration
+	// AllowPathLoad permits RegisterRequest.Path, i.e. loading graphs
+	// from server-side files. Off by default: a remote caller naming
+	// filesystem paths is a read-oracle unless the deployment
+	// explicitly wants it.
+	AllowPathLoad bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.NoQueue {
+		c.MaxQueue = 0
+	} else if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.NoCache {
+		c.CacheEntries = 0
+	} else if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the bfserved HTTP service: a graph registry plus
+// admission control, deadlines, result caching and metrics. Construct
+// with New; it is an http.Handler.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	lim     *limiter
+	cache   *resultCache
+	metrics *metrics
+	mux     *http.ServeMux
+	// arena pools counting workspaces across requests; the pool is
+	// concurrency-safe and sheds nothing on mismatch, so one shared
+	// arena serves every graph.
+	arena    *butterfly.Arena
+	draining atomic.Bool
+
+	// computeHook, when non-nil, runs after admission and before the
+	// computation of every query — tests use it to hold a slot or burn
+	// a deadline deterministically.
+	computeHook func(ctx context.Context)
+}
+
+// New returns a Server ready to serve HTTP.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		lim:     newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		cache:   newResultCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+		arena:   butterfly.NewArena(),
+	}
+	s.routes()
+	return s
+}
+
+// Registry exposes the server's graph registry (the daemon preloads
+// graphs through it).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Drain flips the health endpoint to "draining" (503) so load
+// balancers stop sending new work while http.Server.Shutdown lets
+// in-flight requests finish.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /graphs", s.instrument("graphs.list", s.handleListGraphs))
+	s.mux.HandleFunc("POST /graphs", s.instrument("graphs.register", s.handleRegister))
+	s.mux.HandleFunc("GET /graphs/{name}", s.instrument("graphs.info", s.handleGraphInfo))
+	s.mux.HandleFunc("DELETE /graphs/{name}", s.instrument("graphs.drop", s.handleDrop))
+	s.mux.HandleFunc("POST /graphs/{name}/count", s.instrument("count", s.handleCount))
+	s.mux.HandleFunc("POST /graphs/{name}/vertex-counts", s.instrument("vertex-counts", s.handleVertexCounts))
+	s.mux.HandleFunc("POST /graphs/{name}/edge-supports", s.instrument("edge-supports", s.handleEdgeSupports))
+	s.mux.HandleFunc("POST /graphs/{name}/estimate", s.instrument("estimate", s.handleEstimate))
+	s.mux.HandleFunc("POST /graphs/{name}/peel", s.instrument("peel", s.handlePeel))
+	s.mux.HandleFunc("POST /graphs/{name}/mutate", s.instrument("mutate", s.handleMutate))
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and the latency
+// histogram.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.observe(route, sw.code, time.Since(start))
+	}
+}
+
+// compute invokes the test hook, if any.
+func (s *Server) compute(ctx context.Context) {
+	if s.computeHook != nil {
+		s.computeHook(ctx)
+	}
+}
+
+// timeout resolves a request's deadline from its timeout_ms.
+func (s *Server) timeout(ms int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeErr maps an error to its HTTP status and emits the JSON error
+// body.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var nf ErrNotFound
+	var ex ErrExists
+	var br badRequestError
+	switch {
+	case errors.As(err, &br):
+		code = http.StatusBadRequest
+	case errors.As(err, &nf):
+		code = http.StatusNotFound
+	case errors.As(err, &ex):
+		code = http.StatusConflict
+	case errors.Is(err, errShed):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, serveapi.Error{Status: code, Message: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into v. An empty
+// body is allowed and leaves v at its zero value, so `curl -X POST`
+// without a body runs the default query.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return badReqf("invalid request body: %v", err)
+	}
+	return nil
+}
+
+// --- infrastructure endpoints ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := serveapi.Health{
+		Status:   "ok",
+		Graphs:   s.reg.Len(),
+		InFlight: s.lim.inFlight(),
+		Queued:   int(s.lim.queueDepth()),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, s)
+}
+
+// --- registry endpoints ---
+
+func snapInfo(sn *Snapshot) serveapi.GraphInfo {
+	return serveapi.GraphInfo{
+		Name:        sn.Name,
+		Version:     sn.Version,
+		NumV1:       sn.Graph.NumV1(),
+		NumV2:       sn.Graph.NumV2(),
+		NumEdges:    sn.Graph.NumEdges(),
+		Butterflies: sn.Count,
+		Density:     sn.Graph.Density(),
+	}
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	snaps := s.reg.Snapshots()
+	out := serveapi.GraphList{Graphs: make([]serveapi.GraphInfo, 0, len(snaps))}
+	for _, sn := range snaps {
+		out.Graphs = append(out.Graphs, snapInfo(sn))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	sn, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapInfo(sn))
+}
+
+func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Drop(r.PathValue("name")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// loadRequestGraph materializes the graph named by a RegisterRequest.
+func (s *Server) loadRequestGraph(req *serveapi.RegisterRequest) (*butterfly.Graph, error) {
+	sources := 0
+	if req.Dataset != "" {
+		sources++
+	}
+	if req.Path != "" {
+		sources++
+	}
+	if len(req.Edges) > 0 || req.M > 0 || req.N > 0 {
+		sources++
+	}
+	if sources != 1 {
+		return nil, badReqf("exactly one of dataset, path, or m/n/edges must be set")
+	}
+	switch {
+	case req.Dataset != "":
+		scale := req.Scale
+		if scale < 1 {
+			scale = 1
+		}
+		g, err := butterfly.GeneratePaperDataset(req.Dataset, scale)
+		if err != nil {
+			return nil, badReqf("%v", err)
+		}
+		return g, nil
+	case req.Path != "":
+		if !s.cfg.AllowPathLoad {
+			return nil, badReqf("server-side path loading is disabled (start bfserved with -allow-path-load)")
+		}
+		switch req.Format {
+		case "", "konect":
+			return butterfly.ReadKONECTFile(req.Path)
+		case "matrixmarket", "mm":
+			return butterfly.ReadMatrixMarketFile(req.Path)
+		default:
+			return nil, badReqf("unknown format %q (want konect|matrixmarket)", req.Format)
+		}
+	default:
+		g, err := butterfly.FromEdges(req.M, req.N, req.Edges)
+		if err != nil {
+			return nil, badReqf("%v", err)
+		}
+		return g, nil
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req serveapi.RegisterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, badReqf("name is required"))
+		return
+	}
+	// Registration computes an initial exact count; bound its
+	// concurrency like any other computation.
+	if err := s.lim.acquire(r.Context()); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.lim.release()
+	g, err := s.loadRequestGraph(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	sn, err := s.reg.Register(req.Name, g, req.Replace)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snapInfo(sn))
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req serveapi.MutateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.lim.acquire(r.Context()); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.lim.release()
+	start := time.Now()
+	res, err := s.reg.Mutate(name, req.Inserts, req.Deletes)
+	if err != nil {
+		var nf ErrNotFound
+		if !errors.As(err, &nf) {
+			err = badReqf("%v", err)
+		}
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, serveapi.MutateResponse{
+		Graph:     name,
+		Version:   res.Version,
+		Inserted:  res.Inserted,
+		Deleted:   res.Deleted,
+		Created:   res.Created,
+		Destroyed: res.Destroyed,
+		Count:     res.Count,
+		Edges:     res.Edges,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	})
+}
+
+// --- query endpoints ---
+
+// serveQuery is the shared skeleton of every cached, admission-
+// controlled, deadline-bounded query endpoint:
+//
+//  1. resolve the graph snapshot (404);
+//  2. check the result cache under (name, version, key) — hits skip
+//     admission entirely, which is what makes a hot cache absorb
+//     traffic spikes;
+//  3. acquire an execution slot (429 when the queue is full, 504 when
+//     the deadline expires while queued);
+//  4. run exec under the deadline (504 on expiry);
+//  5. render, cache, reply. Cache status is reported in the X-Cache
+//     header so bodies stay byte-identical between hit and miss.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS int, key string, exec func(ctx context.Context, sl *slot, snap *Snapshot) (any, error)) {
+	snap, err := s.reg.Get(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	cacheKey := fmt.Sprintf("%s|v%d|%s", snap.Name, snap.Version, key)
+	if body, ok := s.cache.get(cacheKey); ok {
+		w.Header().Set("X-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(body)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
+	defer cancel()
+
+	if err := s.lim.acquire(ctx); err != nil {
+		writeErr(w, err)
+		return
+	}
+	sl := &slot{lim: s.lim}
+	defer sl.release()
+
+	start := time.Now()
+	s.compute(ctx)
+	resp, err := exec(ctx, sl, snap)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	elapsed := time.Since(start).Milliseconds()
+	setElapsed(resp, elapsed)
+
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.put(cacheKey, body)
+	w.Header().Set("X-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// setElapsed stamps the compute latency on the response types that
+// carry one. Cached replies keep the original compute time — the
+// useful number for capacity planning ("what did this result cost").
+func setElapsed(resp any, ms int64) {
+	switch v := resp.(type) {
+	case *serveapi.CountResponse:
+		v.ElapsedMS = ms
+	case *serveapi.VertexCountsResponse:
+		v.ElapsedMS = ms
+	case *serveapi.EdgeSupportsResponse:
+		v.ElapsedMS = ms
+	case *serveapi.EstimateResponse:
+		v.ElapsedMS = ms
+	case *serveapi.PeelResponse:
+		v.ElapsedMS = ms
+	}
+}
+
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	var req serveapi.CountRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if _, err := countOptions(&req); err != nil { // validate before admission
+		writeErr(w, err)
+		return
+	}
+	s.serveQuery(w, r, req.TimeoutMillis, keyCount, func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+		return s.execCount(ctx, snap, &req)
+	})
+}
+
+func (s *Server) handleVertexCounts(w http.ResponseWriter, r *http.Request) {
+	var req serveapi.VertexCountsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	side, err := parseSide(req.Side)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	top := req.Top
+	if top == 0 {
+		top = 100
+	}
+	s.serveQuery(w, r, req.TimeoutMillis, keyVertex(side, top), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+		return s.execVertexCounts(ctx, sl, snap, side, top)
+	})
+}
+
+func (s *Server) handleEdgeSupports(w http.ResponseWriter, r *http.Request) {
+	var req serveapi.EdgeSupportsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	top := req.Top
+	if top == 0 {
+		top = 100
+	}
+	s.serveQuery(w, r, req.TimeoutMillis, fmt.Sprintf("%s|top=%d", keyEdges, top), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+		return s.execEdgeSupports(ctx, sl, snap, top)
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req serveapi.EstimateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.serveQuery(w, r, req.TimeoutMillis, keyEstimate(&req), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+		return s.execEstimate(ctx, sl, snap, &req)
+	})
+}
+
+func (s *Server) handlePeel(w http.ResponseWriter, r *http.Request) {
+	var req serveapi.PeelRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	side, err := parseSide(req.Side)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Mode != "tip" && req.Mode != "wing" {
+		writeErr(w, badReqf("unknown mode %q (want tip|wing)", req.Mode))
+		return
+	}
+	if req.K < 0 {
+		writeErr(w, badReqf("k must be ≥ 0, got %d", req.K))
+		return
+	}
+	s.serveQuery(w, r, req.TimeoutMillis, keyPeel(req.Mode, req.K, side), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+		return s.execPeel(ctx, sl, snap, &req)
+	})
+}

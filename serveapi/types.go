@@ -1,0 +1,214 @@
+// Package serveapi defines the JSON wire types of the bfserved HTTP
+// API — the request and response bodies exchanged by internal/serve
+// (the server) and butterfly/client (the Go client). Keeping them in
+// one non-internal package lets external programs construct requests
+// and decode responses with the exact structs the server uses.
+//
+// See docs/SERVING.md for the full API reference.
+package serveapi
+
+// RegisterRequest loads a graph into the server's registry under a
+// name. Exactly one source must be set: Dataset (a synthetic stand-in
+// of the paper's datasets, optionally scaled), Path (a server-side
+// KONECT or MatrixMarket file; requires the server's -allow-path-load
+// flag), or inline Edges with M×N dimensions.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	// Replace allows overwriting an existing graph (its version
+	// counter restarts at 1).
+	Replace bool `json:"replace,omitempty"`
+
+	// Dataset names a synthetic paper dataset (see bfc -list); Scale
+	// shrinks it (0 or 1 = full size).
+	Dataset string `json:"dataset,omitempty"`
+	Scale   int    `json:"scale,omitempty"`
+
+	// Path is a server-side file; Format is "konect" (default) or
+	// "matrixmarket".
+	Path   string `json:"path,omitempty"`
+	Format string `json:"format,omitempty"`
+
+	// Edges is an inline edge list over vertex sets of size M and N.
+	M     int      `json:"m,omitempty"`
+	N     int      `json:"n,omitempty"`
+	Edges [][2]int `json:"edges,omitempty"`
+}
+
+// GraphInfo describes one registered graph at its current version.
+type GraphInfo struct {
+	Name        string  `json:"name"`
+	Version     uint64  `json:"version"`
+	NumV1       int     `json:"v1"`
+	NumV2       int     `json:"v2"`
+	NumEdges    int64   `json:"edges"`
+	Butterflies int64   `json:"butterflies"`
+	Density     float64 `json:"density"`
+}
+
+// GraphList is the response of GET /graphs.
+type GraphList struct {
+	Graphs []GraphInfo `json:"graphs"`
+}
+
+// CountRequest asks for an exact butterfly count. All fields are
+// optional — the zero value runs the automatically selected family
+// member sequentially. Algorithm is one of "family" (default),
+// "wedge-hash", "vertex-priority", "sort-aggregate", "spgemm";
+// Invariant picks the family member (0 = auto, 1–8); Hub is "auto",
+// "never" or "always"; Order is "natural", "degree-asc" or
+// "degree-desc". Threads ≤ 0 means one worker per CPU.
+type CountRequest struct {
+	Algorithm string `json:"algorithm,omitempty"`
+	Invariant int    `json:"invariant,omitempty"`
+	Threads   int    `json:"threads,omitempty"`
+	BlockSize int    `json:"block,omitempty"`
+	Order     string `json:"order,omitempty"`
+	Hub       string `json:"hub,omitempty"`
+	// TimeoutMillis overrides the server's default per-request
+	// deadline (capped by the server's maximum).
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// CountResponse reports an exact count. Version identifies the graph
+// snapshot the count was computed on.
+type CountResponse struct {
+	Graph       string `json:"graph"`
+	Version     uint64 `json:"version"`
+	Butterflies int64  `json:"butterflies"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+}
+
+// VertexCountsRequest asks for the per-vertex butterfly counts of one
+// side ("v1" or "v2", default "v1"), returning the Top highest-count
+// vertices (default 100; ≤ 0 returns all).
+type VertexCountsRequest struct {
+	Side          string `json:"side,omitempty"`
+	Top           int    `json:"top,omitempty"`
+	TimeoutMillis int    `json:"timeout_ms,omitempty"`
+}
+
+// VertexCount pairs a vertex id with its butterfly count.
+type VertexCount struct {
+	Vertex int   `json:"vertex"`
+	Count  int64 `json:"count"`
+}
+
+// VertexCountsResponse lists the top vertices by butterfly
+// participation; Total sums over the whole side (twice the butterfly
+// count).
+type VertexCountsResponse struct {
+	Graph     string        `json:"graph"`
+	Version   uint64        `json:"version"`
+	Side      string        `json:"side"`
+	Total     int64         `json:"total"`
+	Vertices  []VertexCount `json:"vertices"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// EdgeSupportsRequest asks for the Top highest-support edges (default
+// 100; ≤ 0 returns all).
+type EdgeSupportsRequest struct {
+	Top           int `json:"top,omitempty"`
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+}
+
+// EdgeSupport is one edge with its butterfly support.
+type EdgeSupport struct {
+	U     int   `json:"u"`
+	V     int   `json:"v"`
+	Count int64 `json:"count"`
+}
+
+// EdgeSupportsResponse lists the top edges by butterfly support;
+// Total sums supports over all edges (four times the butterfly count).
+type EdgeSupportsResponse struct {
+	Graph     string        `json:"graph"`
+	Version   uint64        `json:"version"`
+	Total     int64         `json:"total"`
+	Edges     []EdgeSupport `json:"edges"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+}
+
+// EstimateRequest asks for an approximate count. Strategy is
+// "vertices", "edges" (Samples draws) or "sparsify" (keep-probability
+// P). Estimators are deterministic given Seed, which is part of the
+// result-cache key.
+type EstimateRequest struct {
+	Strategy      string  `json:"strategy"`
+	Samples       int     `json:"samples,omitempty"`
+	P             float64 `json:"p,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+	TimeoutMillis int     `json:"timeout_ms,omitempty"`
+}
+
+// EstimateResponse reports an estimated count.
+type EstimateResponse struct {
+	Graph     string  `json:"graph"`
+	Version   uint64  `json:"version"`
+	Estimate  float64 `json:"estimate"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+}
+
+// PeelRequest runs a k-tip or k-wing peel. Mode is "tip" (Side "v1"
+// or "v2", default "v1") or "wing". Threads ≤ 0 means one worker per
+// CPU; the thread count does not affect the result.
+type PeelRequest struct {
+	Mode          string `json:"mode"`
+	K             int64  `json:"k"`
+	Side          string `json:"side,omitempty"`
+	Threads       int    `json:"threads,omitempty"`
+	TimeoutMillis int    `json:"timeout_ms,omitempty"`
+}
+
+// PeelResponse summarizes the surviving subgraph.
+type PeelResponse struct {
+	Graph          string `json:"graph"`
+	Version        uint64 `json:"version"`
+	Mode           string `json:"mode"`
+	K              int64  `json:"k"`
+	EdgesRemaining int64  `json:"edges_remaining"`
+	Butterflies    int64  `json:"butterflies"`
+	ElapsedMS      int64  `json:"elapsed_ms"`
+}
+
+// MutateRequest applies a batch of edge mutations to a graph:
+// Inserts first, then Deletes, as one atomic batch producing one new
+// graph version. Endpoints must lie inside the graph's original
+// dimensions. Duplicate inserts and missing deletes are counted but
+// not errors.
+type MutateRequest struct {
+	Inserts [][2]int `json:"inserts,omitempty"`
+	Deletes [][2]int `json:"deletes,omitempty"`
+}
+
+// MutateResponse reports the effect of a mutation batch.
+type MutateResponse struct {
+	Graph string `json:"graph"`
+	// Version of the snapshot produced by this batch.
+	Version uint64 `json:"version"`
+	// Inserted/Deleted count the mutations that actually changed the
+	// edge set (duplicates and misses are excluded).
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Created/Destroyed count butterflies added and removed.
+	Created   int64 `json:"created"`
+	Destroyed int64 `json:"destroyed"`
+	// Count and Edges describe the new version.
+	Count     int64 `json:"count"`
+	Edges     int64 `json:"edges"`
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// Health is the response of GET /healthz.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Graphs   int    `json:"graphs"`
+	InFlight int    `json:"in_flight"`
+	Queued   int    `json:"queued"`
+}
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	Status  int    `json:"status"`
+	Message string `json:"error"`
+}
