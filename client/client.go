@@ -210,6 +210,15 @@ func (c *Client) Peel(ctx context.Context, graph string, req serveapi.PeelReques
 	return resp, err
 }
 
+// Checkpoint forces the daemon to snapshot every graph and compact
+// its write-ahead log. Fails with a 400 APIError when the daemon runs
+// without -data-dir.
+func (c *Client) Checkpoint(ctx context.Context) (serveapi.CheckpointResponse, error) {
+	var resp serveapi.CheckpointResponse
+	err := c.do(ctx, http.MethodPost, "/admin/checkpoint", nil, &resp)
+	return resp, err
+}
+
 // Mutate applies an edge mutation batch, producing a new graph
 // version.
 func (c *Client) Mutate(ctx context.Context, graph string, req serveapi.MutateRequest) (serveapi.MutateResponse, error) {

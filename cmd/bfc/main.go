@@ -93,7 +93,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *estimate != "" {
-		return runEstimate(out, g, *estimate, *samples, *keepP, *seed)
+		return runEstimate(out, g, *estimate, *samples, *keepP, *seed, *jsonOut)
 	}
 
 	if *project != "" {
@@ -236,7 +236,7 @@ func runProject(out io.Writer, g *butterfly.Graph, side string, minShared int64,
 	return nil
 }
 
-func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, p float64, seed int64) error {
+func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, p float64, seed int64, jsonOut bool) error {
 	opts := butterfly.EstimateOptions{Samples: samples, P: p, Seed: seed}
 	switch kind {
 	case "vertices":
@@ -253,8 +253,26 @@ func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, p 
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(start).Seconds()
+	if jsonOut {
+		res := map[string]any{
+			"v1":       g.NumV1(),
+			"v2":       g.NumV2(),
+			"edges":    g.NumEdges(),
+			"estimate": est,
+			"strategy": kind,
+			"seed":     seed,
+			"seconds":  elapsed,
+		}
+		if kind == "sparsify" {
+			res["p"] = p
+		} else {
+			res["samples"] = samples
+		}
+		return json.NewEncoder(out).Encode(res)
+	}
 	fmt.Fprintf(out, "estimated butterflies ≈ %.0f (%s sampling, %.3fs)\n",
-		est, kind, time.Since(start).Seconds())
+		est, kind, elapsed)
 	return nil
 }
 

@@ -104,6 +104,60 @@ func TestRunEstimates(t *testing.T) {
 	}
 }
 
+// TestRunEstimateJSON checks -estimate honors -json: one JSON object,
+// strategy-appropriate parameter fields, and a deterministic estimate
+// for the chosen seed (sparsify with p=1 keeps every edge, so the
+// estimate is exact).
+func TestRunEstimateJSON(t *testing.T) {
+	path := writeTestGraph(t)
+	var sb strings.Builder
+	if err := run([]string{"-file", path, "-estimate", "sparsify", "-p", "1", "-seed", "7", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("estimate output not JSON: %v\n%q", err, sb.String())
+	}
+	if got["estimate"].(float64) != 9 { // K33 has exactly 9, p=1 is exact
+		t.Fatalf("sparsify p=1 estimate = %v, want 9", got["estimate"])
+	}
+	if got["strategy"] != "sparsify" || got["p"].(float64) != 1 || got["seed"].(float64) != 7 {
+		t.Fatalf("JSON fields wrong: %v", got)
+	}
+	if _, ok := got["samples"]; ok {
+		t.Fatalf("sparsify JSON carries samples field: %v", got)
+	}
+
+	sb.Reset()
+	if err := run([]string{"-file", path, "-estimate", "edges", "-samples", "50", "-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("edges estimate not JSON: %v\n%q", err, sb.String())
+	}
+	if got["strategy"] != "edges" || got["samples"].(float64) != 50 {
+		t.Fatalf("JSON fields wrong: %v", got)
+	}
+	if _, ok := got["p"]; ok {
+		t.Fatalf("edges JSON carries p field: %v", got)
+	}
+	// Same seed, same estimate: determinism is part of the contract.
+	var sb2 strings.Builder
+	if err := run([]string{"-file", path, "-estimate", "edges", "-samples", "50", "-json"}, &sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		// elapsed seconds differ; compare just the estimates
+		var a, b map[string]any
+		json.Unmarshal([]byte(sb.String()), &a)
+		json.Unmarshal([]byte(sb2.String()), &b)
+		if a["estimate"] != b["estimate"] {
+			t.Fatalf("same seed, different estimates: %v vs %v", a["estimate"], b["estimate"])
+		}
+	}
+}
+
 func TestRunList(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-list"}, &sb); err != nil {

@@ -11,9 +11,18 @@
 // query), /healthz and Prometheus-format /metrics, and graceful
 // shutdown that drains in-flight work on SIGINT/SIGTERM.
 //
+// With -data-dir the registry is durable: every register/mutate/drop
+// is appended to a checksummed write-ahead log before it is published
+// (group-committed fsyncs under -fsync always), graphs are
+// checkpointed into CRC32C-checksummed snapshots when the WAL
+// outgrows -checkpoint-bytes (or on POST /admin/checkpoint), and a
+// restart — graceful or kill -9 — recovers every graph to the exact
+// (version, count) it last acked.
+//
 // Examples:
 //
 //	bfserved -addr :8080 -preload occupations@10
+//	bfserved -addr :8080 -data-dir /var/lib/bfserved -fsync always
 //	bfserved -addr :8080 -max-inflight 8 -queue 32 -timeout 10s
 //	curl -s localhost:8080/graphs/occupations/count -d '{"threads": -1}'
 //
@@ -37,6 +46,7 @@ import (
 
 	"butterfly"
 	"butterfly/internal/serve"
+	"butterfly/internal/store"
 )
 
 func main() {
@@ -61,6 +71,10 @@ func run(args []string, ready chan<- string) error {
 		drainWait   = fs.Duration("drain", 30*time.Second, "max wait for in-flight requests on shutdown")
 		preload     = fs.String("preload", "", "comma-separated synthetic datasets to register at startup, each name[@scale]")
 		pathLoad    = fs.Bool("allow-path-load", false, "allow registering graphs from server-side file paths")
+		dataDir     = fs.String("data-dir", "", "durable storage directory (empty = in-memory only; see docs/SERVING.md \"Durability\")")
+		fsyncMode   = fs.String("fsync", "always", "WAL flush policy: always|interval|never (needs -data-dir)")
+		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "background flush period for -fsync interval")
+		ckptBytes   = fs.Int64("checkpoint-bytes", 64<<20, "WAL size that triggers a background checkpoint (-1 disables; needs -data-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,7 +90,44 @@ func run(args []string, ready chan<- string) error {
 		MaxTimeout:     *maxTimeout,
 		AllowPathLoad:  *pathLoad,
 	}
+
+	// Durable mode: open the store (running crash recovery — newest
+	// valid snapshots plus the WAL tail, torn records truncated), then
+	// adopt every recovered graph at the exact (graph, version) it had
+	// when the previous process died.
+	var st *store.Store
+	var recovered []store.Recovered
+	if *dataDir != "" {
+		policy, err := store.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		st, recovered, err = store.Open(*dataDir, store.Options{
+			Fsync:           policy,
+			FsyncInterval:   *fsyncEvery,
+			CheckpointBytes: *ckptBytes,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		log.Printf("data dir %s: recovered %d graph(s), wal %d bytes, fsync=%s (%.3fs)",
+			*dataDir, len(recovered), st.WALSize(), policy, time.Since(start).Seconds())
+	}
 	srv := serve.New(cfg)
+	defer srv.Close()
+
+	for _, rec := range recovered {
+		sn, err := srv.Registry().Adopt(rec.Name, rec.Counter, rec.Version)
+		if err != nil {
+			return fmt.Errorf("adopt recovered graph %q: %w", rec.Name, err)
+		}
+		log.Printf("recovered %s v%d from %s (+%d wal batch(es)): %s, %d butterflies",
+			rec.Name, sn.Version, rec.Source, rec.Replayed, sn.Graph, sn.Count)
+	}
 
 	if *preload != "" {
 		for _, spec := range strings.Split(*preload, ",") {
@@ -87,6 +138,13 @@ func run(args []string, ready chan<- string) error {
 					return fmt.Errorf("bad -preload entry %q (want name[@scale])", spec)
 				}
 				name, scale = name[:at], n
+			}
+			// A recovered graph takes precedence over its preload: the
+			// durable version (with every mutation it absorbed) is the
+			// one the previous process acked.
+			if _, err := srv.Registry().Get(name); err == nil {
+				log.Printf("preload %s: already recovered from %s, skipping", name, *dataDir)
+				continue
 			}
 			start := time.Now()
 			g, err := butterfly.GeneratePaperDataset(name, scale)

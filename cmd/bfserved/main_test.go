@@ -72,11 +72,116 @@ func TestRunServeAndShutdown(t *testing.T) {
 	}
 }
 
+// startDaemon boots run() in a goroutine and returns its address plus
+// the exit channel.
+func startDaemon(t *testing.T, args []string) (string, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(args, ready) }()
+	select {
+	case addr := <-ready:
+		return addr, done
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	panic("unreachable")
+}
+
+// stopDaemon delivers SIGTERM and waits for a clean exit.
+func stopDaemon(t *testing.T, done chan error) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+}
+
+// TestRunDurableRestart is the daemon-level durability contract: boot
+// with -data-dir, mutate a preloaded graph, restart over the same
+// directory, and the second process must serve the identical count at
+// the identical (graph, version) — with the preload skipped in favor
+// of the recovered state.
+func TestRunDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-preload", "occupations@100",
+		"-data-dir", dir,
+		"-fsync", "never", // durability semantics, not disk stamina
+		"-drain", "5s",
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	addr, done := startDaemon(t, args)
+	c := client.New("http://" + addr)
+	mut, err := c.Mutate(ctx, "occupations", serveapi.MutateRequest{
+		Deletes: [][2]int{{0, 0}, {1, 1}},
+	})
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	if mut.Version != 2 {
+		t.Fatalf("mutate produced v%d, want v2", mut.Version)
+	}
+	want, err := c.GraphInfo(ctx, "occupations")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(ctx, serveapi.RegisterRequest{
+		Name: "inline", M: 2, N: 2, Edges: [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}},
+	}); err != nil {
+		t.Fatalf("register inline: %v", err)
+	}
+	stopDaemon(t, done)
+
+	// Second life. Same -preload: it must be skipped because the
+	// recovered (mutated) graph is the acknowledged one.
+	addr2, done2 := startDaemon(t, args)
+	defer stopDaemon(t, done2)
+	c2 := client.New("http://" + addr2)
+	got, err := c2.GraphInfo(ctx, "occupations")
+	if err != nil {
+		t.Fatalf("occupations lost across restart: %v", err)
+	}
+	if got != want {
+		t.Fatalf("restart state differs:\n got %+v\nwant %+v", got, want)
+	}
+	cnt, err := c2.Count(ctx, "occupations", serveapi.CountRequest{Threads: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Butterflies != want.Butterflies || cnt.Version != want.Version {
+		t.Fatalf("recovered count %d @ v%d, want %d @ v%d",
+			cnt.Butterflies, cnt.Version, want.Butterflies, want.Version)
+	}
+	inline, err := c2.GraphInfo(ctx, "inline")
+	if err != nil || inline.Butterflies != 1 {
+		t.Fatalf("inline graph: %+v, %v (want 1 butterfly)", inline, err)
+	}
+	if _, err := c2.Checkpoint(ctx); err != nil {
+		t.Fatalf("admin checkpoint on durable daemon: %v", err)
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	if err := run([]string{"-preload", "occupations@zero", "-addr", "127.0.0.1:0"}, nil); err == nil {
 		t.Fatal("bad -preload scale accepted")
 	}
 	if err := run([]string{"-preload", "no-such-dataset", "-addr", "127.0.0.1:0"}, nil); err == nil {
 		t.Fatal("unknown -preload dataset accepted")
+	}
+	if err := run([]string{"-data-dir", t.TempDir(), "-fsync", "sometimes", "-addr", "127.0.0.1:0"}, nil); err == nil {
+		t.Fatal("bad -fsync policy accepted")
 	}
 }

@@ -24,7 +24,14 @@ type metrics struct {
 	bucketCounts [numBuckets + 1]atomic.Uint64 // +Inf is the last slot
 	latencySum   atomic.Uint64                 // microseconds, to stay integral
 	latencyCount atomic.Uint64
+
+	checkpointErrors atomic.Uint64
 }
+
+// noteCheckpointError counts a failed checkpoint (background or
+// admin-triggered) so operators can alert on a store that stopped
+// compacting.
+func (m *metrics) noteCheckpointError() { m.checkpointErrors.Add(1) }
 
 // numBuckets mirrors len(latencyBuckets); array sizes need a constant.
 const numBuckets = 7
@@ -123,6 +130,22 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	fmt.Fprintln(w, "# HELP bfserved_shed_total Requests rejected with 429 because the queue was full.")
 	fmt.Fprintln(w, "# TYPE bfserved_shed_total counter")
 	fmt.Fprintf(w, "bfserved_shed_total %d\n", s.lim.shedTotal())
+
+	// Durability (only when the daemon runs with a data dir).
+	if s.store != nil {
+		fmt.Fprintln(w, "# HELP bfserved_wal_bytes Current write-ahead log length.")
+		fmt.Fprintln(w, "# TYPE bfserved_wal_bytes gauge")
+		fmt.Fprintf(w, "bfserved_wal_bytes %d\n", s.store.WALSize())
+		fmt.Fprintln(w, "# HELP bfserved_wal_fsyncs_total Completed WAL fsyncs (group commit batches many appends per fsync).")
+		fmt.Fprintln(w, "# TYPE bfserved_wal_fsyncs_total counter")
+		fmt.Fprintf(w, "bfserved_wal_fsyncs_total %d\n", s.store.WALSyncs())
+		fmt.Fprintln(w, "# HELP bfserved_checkpoints_total Completed snapshot checkpoints.")
+		fmt.Fprintln(w, "# TYPE bfserved_checkpoints_total counter")
+		fmt.Fprintf(w, "bfserved_checkpoints_total %d\n", s.store.Checkpoints())
+		fmt.Fprintln(w, "# HELP bfserved_checkpoint_errors_total Failed checkpoints.")
+		fmt.Fprintln(w, "# TYPE bfserved_checkpoint_errors_total counter")
+		fmt.Fprintf(w, "bfserved_checkpoint_errors_total %d\n", m.checkpointErrors.Load())
+	}
 
 	// Per-graph state.
 	snaps := s.reg.Snapshots()

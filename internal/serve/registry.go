@@ -70,15 +70,44 @@ type entry struct {
 	snap atomic.Pointer[Snapshot]
 }
 
+// Persister receives every registry state change before it is
+// published to readers — the write-ahead hook that makes the registry
+// durable. internal/store.Store implements it. Log calls happen while
+// the registry holds the locks that order the change, so the log's
+// record order always matches publication order; an error from a Log
+// call aborts (and for mutations, rolls back) the change.
+type Persister interface {
+	// LogRegister records name (re)entering the registry with its full
+	// edge set and initial exact count at version 1.
+	LogRegister(name string, version uint64, g *butterfly.Graph, count int64) error
+	// LogMutate records one applied batch with its post-state stamps.
+	LogMutate(name string, version uint64, inserts, deletes [][2]int, count, edges int64) error
+	// LogDrop records name leaving the registry.
+	LogDrop(name string) error
+}
+
 // Registry is a concurrency-safe collection of named versioned graphs.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+
+	// persist, when non-nil, is the durability hook: appended to
+	// before any state change is published (append-before-publish).
+	persist Persister
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{entries: make(map[string]*entry)}
+}
+
+// SetPersister installs the durability hook. Set it before the
+// registry starts taking traffic; graphs adopted from recovery are
+// not re-logged (their history is already in the store).
+func (r *Registry) SetPersister(p Persister) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.persist = p
 }
 
 // ErrNotFound reports a query against an unregistered graph name.
@@ -90,6 +119,14 @@ func (e ErrNotFound) Error() string { return fmt.Sprintf("graph %q not registere
 type ErrExists struct{ Name string }
 
 func (e ErrExists) Error() string { return fmt.Sprintf("graph %q already registered", e.Name) }
+
+// DurabilityError reports a state change the WAL refused to record.
+// The change was not applied (mutations are rolled back); it answers
+// 500, never 4xx — the request was fine, the disk was not.
+type DurabilityError struct{ Err error }
+
+func (e DurabilityError) Error() string { return fmt.Sprintf("not durable: %v", e.Err) }
+func (e DurabilityError) Unwrap() error { return e.Err }
 
 // Register publishes g under name at version 1. Registration computes
 // the initial exact count once (seeding the dynamic counter); replace
@@ -108,6 +145,41 @@ func (r *Registry) Register(name string, g *butterfly.Graph, replace bool) (*Sna
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; ok && !replace {
+		return nil, ErrExists{name}
+	}
+	// Append-before-publish: the register record (carrying the full
+	// edge set) must be durable before any reader can observe the
+	// graph. Holding r.mu across log+publish keeps the WAL's record
+	// order identical to publication order.
+	if r.persist != nil {
+		if err := r.persist.LogRegister(name, 1, g, snap.Count); err != nil {
+			return nil, DurabilityError{err}
+		}
+	}
+	r.entries[name] = e
+	return snap, nil
+}
+
+// Adopt publishes a graph recovered from the durable store: dyn is
+// the already-replayed authority and version is where its history
+// left off. Nothing is recounted and nothing is logged — the store
+// already holds this graph's past. Adopt refuses to overwrite a live
+// name.
+func (r *Registry) Adopt(name string, dyn *butterfly.DynamicCounter, version uint64) (*Snapshot, error) {
+	if name == "" {
+		return nil, fmt.Errorf("empty graph name")
+	}
+	if version == 0 {
+		return nil, fmt.Errorf("adopt %q: version must be ≥ 1", name)
+	}
+	g := dyn.Snapshot()
+	e := &entry{name: name, m: g.NumV1(), n: g.NumV2(), dyn: dyn}
+	snap := &Snapshot{Name: name, Version: version, Graph: g, Count: dyn.Count()}
+	e.snap.Store(snap)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
 		return nil, ErrExists{name}
 	}
 	r.entries[name] = e
@@ -132,6 +204,11 @@ func (r *Registry) Drop(name string) error {
 	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; !ok {
 		return ErrNotFound{name}
+	}
+	if r.persist != nil {
+		if err := r.persist.LogDrop(name); err != nil {
+			return DurabilityError{err}
+		}
 	}
 	delete(r.entries, name)
 	return nil
@@ -202,6 +279,9 @@ func (r *Registry) Mutate(name string, inserts, deletes [][2]int) (MutateResult,
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var res MutateResult
+	// Ops that actually changed the edge set, kept for rollback if the
+	// WAL append fails: memory must never run ahead of the log.
+	var applied [][3]int // (u, v, 0=inserted 1=deleted)
 	for _, op := range inserts {
 		added, created, err := e.dyn.InsertEdge(op[0], op[1])
 		if err != nil {
@@ -210,6 +290,9 @@ func (r *Registry) Mutate(name string, inserts, deletes [][2]int) (MutateResult,
 		if added {
 			res.Inserted++
 			res.Created += created
+			if r.persist != nil {
+				applied = append(applied, [3]int{op[0], op[1], 0})
+			}
 		}
 	}
 	for _, op := range deletes {
@@ -220,13 +303,37 @@ func (r *Registry) Mutate(name string, inserts, deletes [][2]int) (MutateResult,
 		if removed {
 			res.Deleted++
 			res.Destroyed += destroyed
+			if r.persist != nil {
+				applied = append(applied, [3]int{op[0], op[1], 1})
+			}
+		}
+	}
+
+	prev := e.snap.Load()
+
+	// Append-before-publish: the batch becomes durable (to the extent
+	// the fsync policy promises) before any reader can observe it. If
+	// the log refuses the record, undo the batch so memory and log
+	// agree, and fail the request — an acked mutation is always in the
+	// WAL, a nacked one is in neither.
+	if r.persist != nil {
+		err := r.persist.LogMutate(name, prev.Version+1, inserts, deletes, e.dyn.Count(), e.dyn.NumEdges())
+		if err != nil {
+			for i := len(applied) - 1; i >= 0; i-- {
+				op := applied[i]
+				if op[2] == 0 {
+					e.dyn.DeleteEdge(op[0], op[1]) //nolint:errcheck // in-range by construction
+				} else {
+					e.dyn.InsertEdge(op[0], op[1]) //nolint:errcheck // in-range by construction
+				}
+			}
+			return MutateResult{}, DurabilityError{err}
 		}
 	}
 
 	// Copy-on-write publish: materialize the new immutable graph and
 	// swap the snapshot pointer. Readers on the old pointer are
 	// untouched; new queries (and new cache keys) see the new version.
-	prev := e.snap.Load()
 	next := &Snapshot{
 		Name:    name,
 		Version: prev.Version + 1,
@@ -239,4 +346,34 @@ func (r *Registry) Mutate(name string, inserts, deletes [][2]int) (MutateResult,
 	res.Count = next.Count
 	res.Edges = next.Graph.NumEdges()
 	return res, nil
+}
+
+// CheckpointTo hands a consistent view of every graph's published
+// state to fn — consistent meaning no mutation can be between its WAL
+// append and its snapshot publish while fn runs, so a checkpoint
+// built from the view plus a truncated WAL never loses an acked
+// batch. It achieves this by holding the registry write lock and
+// every per-graph mutation lock for fn's duration: registrations,
+// drops and mutations stall; queries are untouched (they never lock —
+// reads, cache hits and in-flight counts proceed on their pinned
+// snapshots).
+//
+// Lock order is r.mu → e.mu → (store), consistent with Mutate's
+// e.mu → (store); nothing takes e.mu before r.mu.
+func (r *Registry) CheckpointTo(fn func(snaps []*Snapshot) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snaps := make([]*Snapshot, 0, len(names))
+	for _, n := range names {
+		e := r.entries[n]
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		snaps = append(snaps, e.snap.Load())
+	}
+	return fn(snaps)
 }

@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"butterfly"
+	"butterfly/internal/store"
 	"butterfly/serveapi"
 )
 
@@ -45,6 +47,13 @@ type Config struct {
 	// filesystem paths is a read-oracle unless the deployment
 	// explicitly wants it.
 	AllowPathLoad bool
+	// Store, when non-nil, makes the registry durable: every
+	// register/mutate/drop is WAL-appended before it is published,
+	// a background checkpointer compacts the log when it outgrows the
+	// store's threshold, and POST /admin/checkpoint forces a
+	// checkpoint. The daemon opens the store (running crash recovery)
+	// and adopts the recovered graphs before serving.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +95,14 @@ type Server struct {
 	arena    *butterfly.Arena
 	draining atomic.Bool
 
+	// store is the optional durability layer (Config.Store); ckptCh
+	// nudges the background checkpointer, stopCh ends it.
+	store     *store.Store
+	ckptCh    chan struct{}
+	stopCh    chan struct{}
+	ckptDone  chan struct{}
+	closeOnce sync.Once
+
 	// computeHook, when non-nil, runs after admission and before the
 	// computation of every query — tests use it to hold a slot or burn
 	// a deadline deterministically.
@@ -102,9 +119,78 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries),
 		metrics: newMetrics(),
 		arena:   butterfly.NewArena(),
+		store:   cfg.Store,
 	}
 	s.routes()
+	if s.store != nil {
+		s.reg.SetPersister(s.store)
+		s.ckptCh = make(chan struct{}, 1)
+		s.stopCh = make(chan struct{})
+		s.ckptDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	return s
+}
+
+// Close stops the background checkpointer (if any). It does not close
+// the store — the daemon owns that, after the HTTP server has fully
+// drained.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopCh != nil {
+			close(s.stopCh)
+			<-s.ckptDone
+		}
+	})
+}
+
+// checkpointLoop runs size-triggered checkpoints in the background.
+// Write endpoints nudge it after appending; it re-checks the
+// threshold so spurious nudges are cheap.
+func (s *Server) checkpointLoop() {
+	defer close(s.ckptDone)
+	for {
+		select {
+		case <-s.ckptCh:
+			if s.store.ShouldCheckpoint() {
+				if _, err := s.checkpoint(); err != nil {
+					s.metrics.noteCheckpointError()
+				}
+			}
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// nudgeCheckpoint wakes the background checkpointer if the WAL has
+// outgrown its threshold. Non-blocking: a full channel means a
+// checkpoint is already pending.
+func (s *Server) nudgeCheckpoint() {
+	if s.store == nil || !s.store.ShouldCheckpoint() {
+		return
+	}
+	select {
+	case s.ckptCh <- struct{}{}:
+	default:
+	}
+}
+
+// checkpoint snapshots every graph's published state and compacts the
+// WAL. See Registry.CheckpointTo and store.Checkpoint for the
+// consistency and durability-ordering story.
+func (s *Server) checkpoint() (store.CheckpointStats, error) {
+	var stats store.CheckpointStats
+	err := s.reg.CheckpointTo(func(snaps []*Snapshot) error {
+		states := make([]store.GraphState, len(snaps))
+		for i, sn := range snaps {
+			states[i] = store.GraphState{Name: sn.Name, Version: sn.Version, Graph: sn.Graph, Count: sn.Count}
+		}
+		var err error
+		stats, err = s.store.Checkpoint(states)
+		return err
+	})
+	return stats, err
 }
 
 // Registry exposes the server's graph registry (the daemon preloads
@@ -133,6 +219,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /graphs/{name}/estimate", s.instrument("estimate", s.handleEstimate))
 	s.mux.HandleFunc("POST /graphs/{name}/peel", s.instrument("peel", s.handlePeel))
 	s.mux.HandleFunc("POST /graphs/{name}/mutate", s.instrument("mutate", s.handleMutate))
+	s.mux.HandleFunc("POST /admin/checkpoint", s.instrument("admin.checkpoint", s.handleCheckpoint))
 }
 
 // statusWriter captures the response code for metrics.
@@ -357,7 +444,30 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	s.nudgeCheckpoint()
 	writeJSON(w, http.StatusCreated, snapInfo(sn))
+}
+
+// handleCheckpoint forces a synchronous checkpoint: snapshot every
+// graph, truncate the WAL, GC stale snapshot files. 400 when the
+// daemon runs without a data dir.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeErr(w, badReqf("durability is not enabled (start bfserved with -data-dir)"))
+		return
+	}
+	stats, err := s.checkpoint()
+	if err != nil {
+		s.metrics.noteCheckpointError()
+		writeErr(w, fmt.Errorf("checkpoint: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, serveapi.CheckpointResponse{
+		Graphs:         stats.Graphs,
+		WALBytesBefore: stats.WALBytesBefore,
+		WALBytesAfter:  stats.WALBytesAfter,
+		ElapsedMS:      stats.Elapsed.Milliseconds(),
+	})
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
@@ -376,12 +486,14 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	res, err := s.reg.Mutate(name, req.Inserts, req.Deletes)
 	if err != nil {
 		var nf ErrNotFound
-		if !errors.As(err, &nf) {
+		var de DurabilityError
+		if !errors.As(err, &nf) && !errors.As(err, &de) {
 			err = badReqf("%v", err)
 		}
-		writeErr(w, err)
+		writeErr(w, err) // DurabilityError falls through to 500
 		return
 	}
+	s.nudgeCheckpoint()
 	writeJSON(w, http.StatusOK, serveapi.MutateResponse{
 		Graph:     name,
 		Version:   res.Version,

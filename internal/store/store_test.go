@@ -1,0 +1,572 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"butterfly"
+)
+
+// openT opens a store over dir with fsync disabled (tests don't need
+// real durability, just the record/replay semantics) and fails the
+// test on error.
+func openT(t *testing.T, dir string) (*Store, []Recovered) {
+	t.Helper()
+	st, rec, err := Open(dir, Options{Fsync: FsyncNever, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return st, rec
+}
+
+func mkGraph(t *testing.T, m, n int, edges [][2]int) *butterfly.Graph {
+	t.Helper()
+	g, err := butterfly.FromEdges(m, n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// writeHistory drives a store through register + two mutation batches
+// and returns the expected final state: the edge set, count, and
+// version a correct recovery must reproduce.
+func writeHistory(t *testing.T, st *Store, name string) (g *butterfly.Graph, count int64, version uint64) {
+	t.Helper()
+	base := mkGraph(t, 4, 4, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	dyn := butterfly.NewDynamicCounterFromGraph(base)
+	if err := st.LogRegister(name, 1, base, dyn.Count()); err != nil {
+		t.Fatalf("log register: %v", err)
+	}
+
+	batches := [][2][][2]int{
+		{{{2, 0}, {2, 1}, {3, 3}}, nil},      // inserts only
+		{{{0, 2}}, [][2]int{{3, 3}, {1, 1}}}, // insert + deletes
+	}
+	version = 1
+	for _, b := range batches {
+		for _, p := range b[0] {
+			if _, _, err := dyn.InsertEdge(p[0], p[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range b[1] {
+			if _, _, err := dyn.DeleteEdge(p[0], p[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		version++
+		if err := st.LogMutate(name, version, b[0], b[1], dyn.Count(), dyn.NumEdges()); err != nil {
+			t.Fatalf("log mutate v%d: %v", version, err)
+		}
+	}
+	return dyn.Snapshot(), dyn.Count(), version
+}
+
+// checkRecovered asserts rec matches the expected graph state and that
+// the replayed counter agrees with an independent exact recount.
+func checkRecovered(t *testing.T, rec Recovered, g *butterfly.Graph, count int64, version uint64) {
+	t.Helper()
+	if rec.Version != version {
+		t.Fatalf("recovered v%d, want v%d", rec.Version, version)
+	}
+	if rec.Count != count {
+		t.Fatalf("recovered count %d, want %d", rec.Count, count)
+	}
+	got := rec.Counter.Snapshot()
+	if !got.Equal(g) {
+		t.Fatalf("recovered graph %s differs from expected %s", got, g)
+	}
+	// The decisive cross-check: replayed dynamic count vs a from-scratch
+	// exact count over the recovered edge set.
+	if exact := got.Count(); exact != rec.Count {
+		t.Fatalf("recovered count %d != exact recount %d", rec.Count, exact)
+	}
+}
+
+func TestStoreOpenEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	st, rec := openT(t, dir)
+	defer st.Close()
+	if len(rec) != 0 {
+		t.Fatalf("empty dir recovered %d graphs", len(rec))
+	}
+	if st.WALSize() != 0 {
+		t.Fatalf("fresh wal has %d bytes", st.WALSize())
+	}
+	if err := st.LogDrop("nope"); err != nil {
+		t.Fatalf("append on fresh store: %v", err)
+	}
+}
+
+func TestStoreRecoverFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g, count, version := writeHistory(t, st, "g")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], g, count, version)
+	if rec[0].Source != "wal" || rec[0].Replayed != 2 {
+		t.Fatalf("source %q replayed %d, want wal/2", rec[0].Source, rec[0].Replayed)
+	}
+}
+
+func TestStoreRecoverFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g, count, version := writeHistory(t, st, "g")
+	stats, err := st.Checkpoint([]GraphState{{Name: "g", Version: version, Graph: g, Count: count}})
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if stats.WALBytesAfter != 0 || stats.WALBytesBefore == 0 {
+		t.Fatalf("checkpoint did not compact: %+v", stats)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], g, count, version)
+	if rec[0].Source != "snapshot" || rec[0].Replayed != 0 {
+		t.Fatalf("source %q replayed %d, want snapshot/0", rec[0].Source, rec[0].Replayed)
+	}
+}
+
+func TestStoreRecoverSnapshotPlusWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g, count, version := writeHistory(t, st, "g")
+	if _, err := st.Checkpoint([]GraphState{{Name: "g", Version: version, Graph: g, Count: count}}); err != nil {
+		t.Fatal(err)
+	}
+	// One more batch after the checkpoint — must come from the WAL.
+	dyn := butterfly.NewDynamicCounterFromGraph(g)
+	if _, _, err := dyn.InsertEdge(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	version++
+	if err := st.LogMutate("g", version, [][2]int{{3, 2}}, nil, dyn.Count(), dyn.NumEdges()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], dyn.Snapshot(), dyn.Count(), version)
+	if rec[0].Source != "snapshot+wal" || rec[0].Replayed != 1 {
+		t.Fatalf("source %q replayed %d, want snapshot+wal/1", rec[0].Source, rec[0].Replayed)
+	}
+}
+
+// TestStoreTornWALTail simulates a crash mid-append: garbage partial
+// frame bytes at the end of the log. Open must truncate the tail and
+// recover the last complete state.
+func TestStoreTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g, count, version := writeHistory(t, st, "g")
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walFileName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Looks like the start of a mutate frame, but the payload never
+	// made it to disk.
+	if _, err := f.Write([]byte{recMutate, 0xE0, 0x00, 0x00, 0x00, 'g'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize := fileSize(t, walPath)
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], g, count, version)
+	if got := fileSize(t, walPath); got >= tornSize {
+		t.Fatalf("torn tail not truncated: %d bytes, was %d", got, tornSize)
+	}
+	// The truncated log must accept new appends and recover again.
+	if err := st2.LogDrop("g"); err != nil {
+		t.Fatalf("append after tail truncation: %v", err)
+	}
+	st2.Close()
+	st3, rec3 := openT(t, dir)
+	defer st3.Close()
+	if len(rec3) != 0 {
+		t.Fatalf("drop after truncation not replayed: %d graphs", len(rec3))
+	}
+}
+
+// TestStoreFlippedByteInWALTail flips one byte inside the final record;
+// recovery must fall back to the state before that batch, not serve a
+// corrupt graph.
+func TestStoreFlippedByteInWALTail(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+
+	base := mkGraph(t, 4, 4, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	dyn := butterfly.NewDynamicCounterFromGraph(base)
+	if err := st.LogRegister("g", 1, base, dyn.Count()); err != nil {
+		t.Fatal(err)
+	}
+	cut := st.WALSize()
+	wantG, wantCount := dyn.Snapshot(), dyn.Count()
+	if _, _, err := dyn.InsertEdge(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogMutate("g", 2, [][2]int{{2, 0}}, nil, dyn.Count(), dyn.NumEdges()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walFileName)
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[cut+int64(len(b[cut:]))/2] ^= 0xFF // middle of the final record
+	if err := os.WriteFile(walPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], wantG, wantCount, 1)
+	if got := fileSize(t, walPath); got != cut {
+		t.Fatalf("wal truncated to %d, want %d", got, cut)
+	}
+}
+
+// TestStoreCrashBeforeWALTruncate simulates dying between the
+// checkpoint's snapshot writes and its WAL truncate: both the new
+// snapshot and the full log survive. Replay must skip the batches the
+// snapshot already contains and converge on the same state.
+func TestStoreCrashBeforeWALTruncate(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g, count, version := writeHistory(t, st, "g")
+	walBytes, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint([]GraphState{{Name: "g", Version: version, Graph: g, Count: count}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the pre-truncate log next to the new snapshot.
+	if err := os.WriteFile(filepath.Join(dir, walFileName), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], g, count, version)
+}
+
+// TestStoreCorruptSnapshotFallsBackToWAL pairs a flipped-byte snapshot
+// with an intact log: recovery must reject the snapshot and rebuild
+// everything from the WAL.
+func TestStoreCorruptSnapshotFallsBackToWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g, count, version := writeHistory(t, st, "g")
+	walBytes, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint([]GraphState{{Name: "g", Version: version, Graph: g, Count: count}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFileName), walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "snapshots", snapshotFileName("g", version))
+	sb, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb[len(sb)/2] ^= 0x5A
+	if err := os.WriteFile(snapPath, sb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], g, count, version)
+	if rec[0].Source != "wal" {
+		t.Fatalf("source %q, want wal (snapshot was corrupt)", rec[0].Source)
+	}
+}
+
+// TestStoreDropAndReregister replays a drop followed by a fresh
+// registration under the same name: the new graph (and only it) must
+// survive, at version 1.
+func TestStoreDropAndReregister(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	writeHistory(t, st, "g")
+	if err := st.LogDrop("g"); err != nil {
+		t.Fatal(err)
+	}
+	g2 := mkGraph(t, 2, 3, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {1, 2}})
+	dyn2 := butterfly.NewDynamicCounterFromGraph(g2)
+	if err := st.LogRegister("g", 1, g2, dyn2.Count()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], g2, dyn2.Count(), 1)
+}
+
+// TestStoreReplaceRegistrationBeatsSnapshot is the nasty case: a graph
+// is checkpointed, then replaced (register v1, no drop record), then
+// the process dies. Recovery sees an older snapshot AND a register
+// record — the record must win.
+func TestStoreReplaceRegistrationBeatsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g, count, version := writeHistory(t, st, "g")
+	if _, err := st.Checkpoint([]GraphState{{Name: "g", Version: version, Graph: g, Count: count}}); err != nil {
+		t.Fatal(err)
+	}
+	g2 := mkGraph(t, 2, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	dyn2 := butterfly.NewDynamicCounterFromGraph(g2)
+	if err := st.LogRegister("g", 1, g2, dyn2.Count()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != 1 {
+		t.Fatalf("recovered %d graphs, want 1", len(rec))
+	}
+	checkRecovered(t, rec[0], g2, dyn2.Count(), 1)
+	if rec[0].Source != "wal" {
+		t.Fatalf("source %q, want wal (replace-registration supersedes snapshot)", rec[0].Source)
+	}
+}
+
+// TestStoreRefusesLogicalCorruption: a register record whose count
+// stamp disagrees with its own edge set is not a torn tail — it means
+// the directory cannot reproduce acknowledged state, and Open must
+// refuse rather than serve it.
+func TestStoreRefusesLogicalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "snapshots"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	w, err := openWAL(filepath.Join(dir, walFileName), FsyncNever, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The square has exactly 1 butterfly; stamp claims 7.
+	if err := w.Append(&Record{Type: recRegister, Name: "g", Version: 1, M: 2, N: 2,
+		Count: 7, Edges: [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(dir, Options{Fsync: FsyncNever, Logf: t.Logf})
+	if err == nil {
+		t.Fatal("logically corrupt WAL accepted")
+	}
+	if !strings.Contains(err.Error(), "stamps count") {
+		t.Fatalf("wrong refusal: %v", err)
+	}
+}
+
+// TestStoreCheckpointGC drops one graph and checkpoints the survivor:
+// every stale snapshot generation and the dropped graph's snapshot
+// must be collected.
+func TestStoreCheckpointGC(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	defer st.Close()
+	ga, countA, verA := writeHistory(t, st, "a")
+	gb, countB, verB := writeHistory(t, st, "b")
+	if _, err := st.Checkpoint([]GraphState{
+		{Name: "a", Version: verA, Graph: ga, Count: countA},
+		{Name: "b", Version: verB, Graph: gb, Count: countB},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Advance a, drop b, checkpoint the new world.
+	dyn := butterfly.NewDynamicCounterFromGraph(ga)
+	if _, _, err := dyn.InsertEdge(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	verA++
+	if err := st.LogMutate("a", verA, [][2]int{{3, 2}}, nil, dyn.Count(), dyn.NumEdges()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogDrop("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Checkpoint([]GraphState{
+		{Name: "a", Version: verA, Graph: dyn.Snapshot(), Count: dyn.Count()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ents, err := os.ReadDir(filepath.Join(dir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	if len(names) != 1 || names[0] != snapshotFileName("a", verA) {
+		t.Fatalf("snapshot dir after GC: %v, want only %s", names, snapshotFileName("a", verA))
+	}
+	if st.Checkpoints() != 2 {
+		t.Fatalf("checkpoints counter %d, want 2", st.Checkpoints())
+	}
+}
+
+// TestStoreConcurrentAppends hammers the append path from many
+// goroutines (race detector coverage for the group-commit machinery)
+// and verifies every record survives a reopen.
+func TestStoreConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	g := mkGraph(t, 2, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	dyn := butterfly.NewDynamicCounterFromGraph(g)
+
+	const writers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := "g" + string(rune('a'+i))
+			errs[i] = st.LogRegister(name, 1, g, dyn.Count())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec := openT(t, dir)
+	defer st2.Close()
+	if len(rec) != writers {
+		t.Fatalf("recovered %d graphs, want %d", len(rec), writers)
+	}
+	for _, r := range rec {
+		checkRecovered(t, r, g, dyn.Count(), 1)
+	}
+}
+
+func TestStoreClosedAppendsFail(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, dir)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.LogDrop("g"); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestStoreShouldCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, Options{Fsync: FsyncNever, CheckpointBytes: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.ShouldCheckpoint() {
+		t.Fatal("empty wal wants checkpoint")
+	}
+	if err := st.LogDrop("g"); err != nil {
+		t.Fatal(err)
+	}
+	if !st.ShouldCheckpoint() {
+		t.Fatal("wal past threshold but no checkpoint wanted")
+	}
+
+	disabled, _, err := Open(t.TempDir(), Options{Fsync: FsyncNever, CheckpointBytes: -1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disabled.Close()
+	if err := disabled.LogDrop("g"); err != nil {
+		t.Fatal(err)
+	}
+	if disabled.ShouldCheckpoint() {
+		t.Fatal("disabled threshold still triggers")
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

@@ -199,6 +199,17 @@ type MutateResponse struct {
 	ElapsedMS int64 `json:"elapsed_ms"`
 }
 
+// CheckpointResponse reports a completed POST /admin/checkpoint: how
+// many graphs were snapshotted and how far the write-ahead log was
+// compacted. Requires the daemon to run with -data-dir (400
+// otherwise).
+type CheckpointResponse struct {
+	Graphs         int   `json:"graphs"`
+	WALBytesBefore int64 `json:"wal_bytes_before"`
+	WALBytesAfter  int64 `json:"wal_bytes_after"`
+	ElapsedMS      int64 `json:"elapsed_ms"`
+}
+
 // Health is the response of GET /healthz.
 type Health struct {
 	Status   string `json:"status"` // "ok" or "draining"

@@ -1,0 +1,174 @@
+package serveapi
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// wireCase pins one type's JSON shape: marshaling value must produce
+// exactly want (this freezes field names, order and omitempty
+// behavior), and unmarshaling want must reproduce value (round trip).
+type wireCase struct {
+	name  string
+	value any // pointer to a populated struct
+	want  string
+}
+
+// TestWireFormat is the compatibility contract of the HTTP API: if a
+// rename or retag changes any byte of these golden strings, this test
+// fails and the change is flagged as a wire-format break.
+func TestWireFormat(t *testing.T) {
+	cases := []wireCase{
+		{
+			"RegisterRequest",
+			&RegisterRequest{Name: "g", Replace: true, Dataset: "github", Scale: 10,
+				Path: "/d/g.tsv", Format: "konect", M: 2, N: 3, Edges: [][2]int{{0, 1}}},
+			`{"name":"g","replace":true,"dataset":"github","scale":10,` +
+				`"path":"/d/g.tsv","format":"konect","m":2,"n":3,"edges":[[0,1]]}`,
+		},
+		{
+			"RegisterRequest zero omits optionals",
+			&RegisterRequest{Name: "g"},
+			`{"name":"g"}`,
+		},
+		{
+			"GraphInfo",
+			&GraphInfo{Name: "g", Version: 3, NumV1: 2, NumV2: 4, NumEdges: 8,
+				Butterflies: 6, Density: 0.5},
+			`{"name":"g","version":3,"v1":2,"v2":4,"edges":8,"butterflies":6,"density":0.5}`,
+		},
+		{
+			"GraphList",
+			&GraphList{Graphs: []GraphInfo{{Name: "g", Version: 1}}},
+			`{"graphs":[{"name":"g","version":1,"v1":0,"v2":0,"edges":0,"butterflies":0,"density":0}]}`,
+		},
+		{
+			"CountRequest",
+			&CountRequest{Algorithm: "family", Invariant: 4, Threads: 2, BlockSize: 64,
+				Order: "degree-asc", Hub: "auto", TimeoutMillis: 5000},
+			`{"algorithm":"family","invariant":4,"threads":2,"block":64,` +
+				`"order":"degree-asc","hub":"auto","timeout_ms":5000}`,
+		},
+		{
+			"CountRequest zero is empty",
+			&CountRequest{},
+			`{}`,
+		},
+		{
+			"CountResponse",
+			&CountResponse{Graph: "g", Version: 2, Butterflies: 36, ElapsedMS: 5},
+			`{"graph":"g","version":2,"butterflies":36,"elapsed_ms":5}`,
+		},
+		{
+			"VertexCountsRequest",
+			&VertexCountsRequest{Side: "v2", Top: 10, TimeoutMillis: 100},
+			`{"side":"v2","top":10,"timeout_ms":100}`,
+		},
+		{
+			"VertexCountsResponse",
+			&VertexCountsResponse{Graph: "g", Version: 1, Side: "v1", Total: 72,
+				Vertices: []VertexCount{{Vertex: 3, Count: 9}}, ElapsedMS: 1},
+			`{"graph":"g","version":1,"side":"v1","total":72,` +
+				`"vertices":[{"vertex":3,"count":9}],"elapsed_ms":1}`,
+		},
+		{
+			"EdgeSupportsRequest",
+			&EdgeSupportsRequest{Top: 5, TimeoutMillis: 100},
+			`{"top":5,"timeout_ms":100}`,
+		},
+		{
+			"EdgeSupportsResponse",
+			&EdgeSupportsResponse{Graph: "g", Version: 1, Total: 144,
+				Edges: []EdgeSupport{{U: 1, V: 2, Count: 4}}, ElapsedMS: 1},
+			`{"graph":"g","version":1,"total":144,` +
+				`"edges":[{"u":1,"v":2,"count":4}],"elapsed_ms":1}`,
+		},
+		{
+			"EstimateRequest",
+			&EstimateRequest{Strategy: "sparsify", Samples: 100, P: 0.25, Seed: 7, TimeoutMillis: 100},
+			`{"strategy":"sparsify","samples":100,"p":0.25,"seed":7,"timeout_ms":100}`,
+		},
+		{
+			"EstimateResponse",
+			&EstimateResponse{Graph: "g", Version: 1, Estimate: 35.5, ElapsedMS: 2},
+			`{"graph":"g","version":1,"estimate":35.5,"elapsed_ms":2}`,
+		},
+		{
+			// Mode accepts "tip" or "wing"; both spellings are pinned.
+			"PeelRequest tip",
+			&PeelRequest{Mode: "tip", K: 8, Side: "v2", Threads: 4, TimeoutMillis: 100},
+			`{"mode":"tip","k":8,"side":"v2","threads":4,"timeout_ms":100}`,
+		},
+		{
+			"PeelRequest wing",
+			&PeelRequest{Mode: "wing", K: 2},
+			`{"mode":"wing","k":2}`,
+		},
+		{
+			"PeelResponse",
+			&PeelResponse{Graph: "g", Version: 1, Mode: "wing", K: 2,
+				EdgesRemaining: 12, Butterflies: 9, ElapsedMS: 3},
+			`{"graph":"g","version":1,"mode":"wing","k":2,` +
+				`"edges_remaining":12,"butterflies":9,"elapsed_ms":3}`,
+		},
+		{
+			"MutateRequest",
+			&MutateRequest{Inserts: [][2]int{{0, 1}}, Deletes: [][2]int{{2, 3}}},
+			`{"inserts":[[0,1]],"deletes":[[2,3]]}`,
+		},
+		{
+			"MutateResponse",
+			&MutateResponse{Graph: "g", Version: 4, Inserted: 1, Deleted: 2,
+				Created: 3, Destroyed: 4, Count: 30, Edges: 15, ElapsedMS: 6},
+			`{"graph":"g","version":4,"inserted":1,"deleted":2,"created":3,` +
+				`"destroyed":4,"count":30,"edges":15,"elapsed_ms":6}`,
+		},
+		{
+			"CheckpointResponse",
+			&CheckpointResponse{Graphs: 2, WALBytesBefore: 4096, WALBytesAfter: 0, ElapsedMS: 12},
+			`{"graphs":2,"wal_bytes_before":4096,"wal_bytes_after":0,"elapsed_ms":12}`,
+		},
+		{
+			"Health",
+			&Health{Status: "draining", Graphs: 2, InFlight: 1, Queued: 3},
+			`{"status":"draining","graphs":2,"in_flight":1,"queued":3}`,
+		},
+		{
+			"Error",
+			&Error{Status: 404, Message: "graph not found"},
+			`{"status":404,"error":"graph not found"}`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := json.Marshal(tc.value)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if string(got) != tc.want {
+				t.Fatalf("wire format changed:\n got %s\nwant %s", got, tc.want)
+			}
+			back := reflect.New(reflect.TypeOf(tc.value).Elem()).Interface()
+			if err := json.Unmarshal([]byte(tc.want), back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(back, tc.value) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, tc.value)
+			}
+		})
+	}
+}
+
+// TestWireUnknownFieldsIgnored: clients and servers of different
+// versions must coexist, so decoding tolerates unknown fields.
+func TestWireUnknownFieldsIgnored(t *testing.T) {
+	var req CountRequest
+	if err := json.Unmarshal([]byte(`{"threads":3,"some_future_knob":true}`), &req); err != nil {
+		t.Fatalf("unknown field rejected: %v", err)
+	}
+	if req.Threads != 3 {
+		t.Fatalf("known field lost: %+v", req)
+	}
+}
