@@ -311,27 +311,68 @@ func BenchmarkKWing(b *testing.B) {
 	}
 }
 
-// BenchmarkTipDecomposition measures the full peeling order.
+// peelEngineCases are the engine × thread configurations the
+// decomposition benchmarks sweep: the incremental delta engine against
+// the round-synchronous recount oracle, sequential and parallel.
+var peelEngineCases = []struct {
+	name string
+	opts PeelOptions
+}{
+	{"delta-t1", PeelOptions{Engine: PeelDelta, Threads: 1}},
+	{"delta-t6", PeelOptions{Engine: PeelDelta, Threads: 6}},
+	{"recount-t1", PeelOptions{Engine: PeelRecount, Threads: 1}},
+	{"recount-t6", PeelOptions{Engine: PeelRecount, Threads: 6}},
+}
+
+// BenchmarkTipDecomposition measures the full peeling order: the
+// sequential heap baseline and both engines. The skewed power-law
+// graph gives a deep peeling hierarchy, which is where the engines
+// diverge: the recount engine pays a full support sweep per level
+// while the delta engine only pays for the butterflies destroyed.
 func BenchmarkTipDecomposition(b *testing.B) {
-	g := benchDataset(b, "arxiv-cond-mat")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		tn, err := g.TipNumbers(V1)
-		if err != nil {
-			b.Fatal(err)
+	g := benchSynthetic(b, "tip-decomp", func() (*Graph, error) {
+		return GeneratePowerLaw(1500, 1200, 6000, 0.7, 0.7, 33)
+	})
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tn, err := g.TipNumbers(V1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink = int64(len(tn))
 		}
-		sink = int64(len(tn))
+	})
+	for _, c := range peelEngineCases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tn, _, err := g.TipNumbersWith(V1, c.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = int64(len(tn))
+			}
+		})
 	}
 }
 
-// BenchmarkWingDecomposition measures the full edge peeling order.
+// BenchmarkWingDecomposition measures the full edge peeling order: the
+// sequential heap baseline and both engines.
 func BenchmarkWingDecomposition(b *testing.B) {
 	g := benchSynthetic(b, "wing-decomp", func() (*Graph, error) {
 		return GeneratePowerLaw(1500, 1200, 6000, 0.7, 0.7, 34)
 	})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sink = int64(len(g.WingNumbers()))
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = int64(len(g.WingNumbers()))
+		}
+	})
+	for _, c := range peelEngineCases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wn, _ := g.WingNumbersWith(c.opts)
+				sink = int64(len(wn))
+			}
+		})
 	}
 }
 

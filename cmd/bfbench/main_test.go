@@ -158,24 +158,43 @@ func TestRunJSONStdout(t *testing.T) {
 			Invariant string `json:"invariant"`
 			Threads   int    `json:"threads"`
 			NsPerOp   int64  `json:"ns_per_op"`
+			Count     int64  `json:"count"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v in %q", err, out)
 	}
-	if rep.Schema != "bfbench/v1" || rep.Scale != 400 {
+	if rep.Schema != "bfbench/v2" || rep.Scale != 400 {
 		t.Fatalf("header wrong: %+v", rep)
 	}
 	algos := map[string]bool{}
+	// Peeling checksums must agree across engines and thread counts —
+	// the snapshot doubles as a differential test.
+	peelSums := map[string]map[int64]bool{}
 	for _, r := range rep.Results {
 		algos[r.Algorithm] = true
 		if r.NsPerOp < 0 || r.Dataset == "" || r.Invariant == "" || r.Threads < 1 {
 			t.Fatalf("malformed result %+v", r)
 		}
+		if strings.HasPrefix(r.Algorithm, "peel-") {
+			key := r.Dataset + "|" + strings.SplitN(r.Algorithm, "/", 2)[0]
+			if peelSums[key] == nil {
+				peelSums[key] = map[int64]bool{}
+			}
+			peelSums[key][r.Count] = true
+		}
 	}
-	for _, want := range []string{"family/seq", "family/arena", "family/parallel"} {
+	for _, want := range []string{
+		"family/seq", "family/arena", "family/parallel",
+		"peel-tip/delta", "peel-tip/recount", "peel-wing/delta", "peel-wing/recount",
+	} {
 		if !algos[want] {
 			t.Fatalf("missing algorithm %q in results", want)
+		}
+	}
+	for key, sums := range peelSums {
+		if len(sums) != 1 {
+			t.Fatalf("peel checksum disagreement for %s: %v", key, sums)
 		}
 	}
 	// Plain -json must not print the text tables.

@@ -8,14 +8,21 @@
 //	tip-numbers   every vertex's tip number (histogram to stdout)
 //	wing-numbers  every edge's wing number (histogram to stdout)
 //
+// Engines (-engine): "delta" (default) is the incremental wedge-delta
+// peeling engine; "recount" is the round-synchronous engine that
+// recomputes all supports every round. Both produce identical results;
+// -engine "" with -threads 1 keeps the classic sequential heap
+// algorithms for tip/wing and numbers modes.
+//
 // Examples:
 //
 //	bfpeel -dataset arxiv-cond-mat -scale 10 -mode tip -k 5
 //	bfpeel -file out.github -mode wing -k 10 -out out.github-10wing
-//	bfpeel -dataset producers -scale 20 -mode tip-numbers
+//	bfpeel -dataset producers -scale 20 -mode tip-numbers -engine delta -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +40,25 @@ func main() {
 	}
 }
 
+// jsonResult is the -json output: one object on stdout describing what
+// was peeled, on which engine, in how many rounds, and how long it
+// took. Subgraph modes fill the Remaining/Peeled pair; numbers modes
+// fill Items/MaxNumber.
+type jsonResult struct {
+	Mode      string `json:"mode"`
+	K         int64  `json:"k,omitempty"`
+	Side      string `json:"side,omitempty"`
+	Engine    string `json:"engine"`
+	Rounds    int    `json:"rounds"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+
+	EdgesRemaining int64 `json:"edges_remaining,omitempty"`
+	EdgesPeeled    int64 `json:"edges_peeled,omitempty"`
+
+	Items     int   `json:"items,omitempty"`      // vertices (tip) or edges (wing) decomposed
+	MaxNumber int64 `json:"max_number,omitempty"` // largest tip/wing number
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bfpeel", flag.ContinueOnError)
 	fs.SetOutput(out)
@@ -45,18 +71,37 @@ func run(args []string, out io.Writer) error {
 		k       = fs.Int64("k", 1, "peeling threshold")
 		side    = fs.String("side", "v1", "vertex side for tip modes: v1|v2")
 		ahead   = fs.Bool("lookahead", false, "use the Fig 8 look-ahead k-tip algorithm")
-		threads = fs.Int("threads", 1, ">1 runs the parallel/round-synchronous variants")
+		threads = fs.Int("threads", 1, ">1 runs the engine-based parallel variants")
+		engine  = fs.String("engine", "", "peeling engine: delta|recount (empty keeps the sequential heap path at -threads 1)")
+		jsonOut = fs.Bool("json", false, "emit one JSON result object instead of text")
 		outPath = fs.String("out", "", "write resulting subgraph (tip/wing modes) to this KONECT file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var eng butterfly.PeelEngine
+	switch *engine {
+	case "", "delta":
+		eng = butterfly.PeelDelta
+	case "recount":
+		eng = butterfly.PeelRecount
+	default:
+		return fmt.Errorf("unknown -engine %q (want delta|recount)", *engine)
+	}
+	// The engine path is taken when an engine is named explicitly or the
+	// run is parallel; -threads 1 without -engine keeps the classic
+	// sequential heap algorithms.
+	useEngine := *engine != "" || *threads > 1
+	opts := butterfly.PeelOptions{Engine: eng, Threads: *threads}
+
 	g, err := loadGraph(*file, *mm, *dataset, *scale)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(out, "input:", g)
+	if !*jsonOut {
+		fmt.Fprintln(out, "input:", g)
+	}
 
 	var sd butterfly.Side
 	switch *side {
@@ -68,13 +113,23 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown -side %q", *side)
 	}
 
+	res := jsonResult{Mode: *mode, Engine: eng.String()}
+	emit := func() error {
+		if !*jsonOut {
+			return nil
+		}
+		enc := json.NewEncoder(out)
+		return enc.Encode(res)
+	}
+
 	start := time.Now()
 	switch *mode {
 	case "tip":
 		var h *butterfly.Graph
+		var st butterfly.PeelStats
 		switch {
-		case *threads > 1:
-			h, err = g.KTipParallel(*k, sd, *threads)
+		case useEngine:
+			h, st, err = g.KTipWith(*k, sd, opts)
 		case *ahead:
 			h, err = g.KTipLookAhead(*k, sd)
 		default:
@@ -83,39 +138,78 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			res.K, res.Side, res.Rounds = *k, *side, st.Rounds
+			res.EdgesRemaining = h.NumEdges()
+			res.EdgesPeeled = g.NumEdges() - h.NumEdges()
+			res.ElapsedMS = time.Since(start).Milliseconds()
+			if err := emit(); err != nil {
+				return err
+			}
+			return writeSub(out, h, *outPath, *jsonOut)
+		}
 		return report(out, h, *outPath, fmt.Sprintf("%d-tip (%s side)", *k, sd), start)
 	case "wing":
 		var h *butterfly.Graph
-		if *threads > 1 {
-			h, err = g.KWingParallel(*k, *threads)
+		var st butterfly.PeelStats
+		if useEngine {
+			h, st, err = g.KWingWith(*k, opts)
 		} else {
 			h, err = g.KWing(*k)
 		}
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			res.K, res.Rounds = *k, st.Rounds
+			res.EdgesRemaining = h.NumEdges()
+			res.EdgesPeeled = g.NumEdges() - h.NumEdges()
+			res.ElapsedMS = time.Since(start).Milliseconds()
+			if err := emit(); err != nil {
+				return err
+			}
+			return writeSub(out, h, *outPath, *jsonOut)
+		}
 		return report(out, h, *outPath, fmt.Sprintf("%d-wing", *k), start)
 	case "tip-numbers":
 		var tn []int64
-		if *threads > 1 {
-			tn, err = g.TipNumbersRounds(sd, *threads)
+		var st butterfly.PeelStats
+		if useEngine {
+			tn, st, err = g.TipNumbersWith(sd, opts)
 		} else {
 			tn, err = g.TipNumbers(sd)
 		}
 		if err != nil {
 			return err
 		}
+		if *jsonOut {
+			res.Side, res.Rounds = *side, st.Rounds
+			res.Items = len(tn)
+			res.MaxNumber = maxOf(tn)
+			res.ElapsedMS = time.Since(start).Milliseconds()
+			return emit()
+		}
 		fmt.Fprintf(out, "tip numbers (%s side) in %.3fs:\n", sd, time.Since(start).Seconds())
 		histogram(out, tn)
 		return nil
 	case "wing-numbers":
-		wn := g.WingNumbers()
-		if *threads > 1 {
-			wn = g.WingNumbersRounds(*threads)
+		var wn []butterfly.EdgeCount
+		var st butterfly.PeelStats
+		if useEngine {
+			wn, st = g.WingNumbersWith(opts)
+		} else {
+			wn = g.WingNumbers()
 		}
 		vals := make([]int64, len(wn))
 		for i, w := range wn {
 			vals[i] = w.Count
+		}
+		if *jsonOut {
+			res.Rounds = st.Rounds
+			res.Items = len(vals)
+			res.MaxNumber = maxOf(vals)
+			res.ElapsedMS = time.Since(start).Milliseconds()
+			return emit()
 		}
 		fmt.Fprintf(out, "wing numbers in %.3fs:\n", time.Since(start).Seconds())
 		histogram(out, vals)
@@ -146,6 +240,31 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
+}
+
+func maxOf(vals []int64) int64 {
+	var m int64
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// writeSub writes the subgraph if requested; in JSON mode the
+// confirmation line is suppressed so stdout stays one JSON object.
+func writeSub(out io.Writer, h *butterfly.Graph, path string, quiet bool) error {
+	if path == "" {
+		return nil
+	}
+	if err := h.WriteKONECTFile(path); err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintln(out, "wrote", path)
+	}
+	return nil
 }
 
 func report(out io.Writer, h *butterfly.Graph, path, label string, start time.Time) error {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -194,5 +195,88 @@ func TestRunParallelVariants(t *testing.T) {
 	}
 	if extract(seq.String()) != extract(par.String()) || extract(seq.String()) == "" {
 		t.Fatalf("tip outputs differ:\n%q\n%q", seq.String(), par.String())
+	}
+}
+
+func TestRunEngines(t *testing.T) {
+	path := writeTestGraph(t)
+	// Both engines must report the same surviving subgraph on every
+	// mode that takes the engine path.
+	for _, engine := range []string{"delta", "recount"} {
+		var sb strings.Builder
+		args := []string{"-file", path, "-mode", "tip", "-k", "1", "-engine", engine}
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if !strings.Contains(sb.String(), "1-tip (V1 side): Bipartite(|V1|=4, |V2|=4, |E|=16)") {
+			t.Fatalf("%s output: %q", engine, sb.String())
+		}
+		sb.Reset()
+		args = []string{"-file", path, "-mode", "wing-numbers", "-engine", engine}
+		if err := run(args, &sb); err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if !strings.Contains(sb.String(), "9: 16") {
+			t.Fatalf("%s wing-numbers output: %q", engine, sb.String())
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-file", path, "-mode", "tip", "-engine", "heap2"}, &sb); err == nil {
+		t.Fatal("bad engine accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, engine := range []string{"delta", "recount"} {
+		// Subgraph mode: K(4,4) has 9 butterflies per edge, so 10-wing
+		// peels all 16 edges.
+		var sb strings.Builder
+		args := []string{"-file", path, "-mode", "wing", "-k", "10", "-engine", engine, "-json"}
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		var res jsonResult
+		if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+			t.Fatalf("%s: not one JSON object: %q (%v)", engine, sb.String(), err)
+		}
+		if res.Mode != "wing" || res.K != 10 || res.Engine != engine {
+			t.Fatalf("%s: result %+v", engine, res)
+		}
+		if res.EdgesRemaining != 0 || res.EdgesPeeled != 16 || res.Rounds < 1 {
+			t.Fatalf("%s: peeled counts wrong: %+v", engine, res)
+		}
+
+		// Numbers mode: all 8 vertices share tip number 18.
+		sb.Reset()
+		args = []string{"-file", path, "-mode", "tip-numbers", "-engine", engine, "-json"}
+		if err := run(args, &sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+			t.Fatalf("%s: not one JSON object: %q (%v)", engine, sb.String(), err)
+		}
+		if res.Items != 4 || res.MaxNumber != 18 || res.Rounds < 1 || res.Engine != engine {
+			t.Fatalf("%s: tip-numbers result %+v", engine, res)
+		}
+	}
+}
+
+func TestRunJSONWithOut(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "peeled")
+	var sb strings.Builder
+	args := []string{"-file", writeTestGraph(t), "-mode", "tip", "-k", "1",
+		"-engine", "delta", "-json", "-out", outPath}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// stdout must stay exactly one JSON object even when writing -out.
+	var res jsonResult
+	if err := json.Unmarshal([]byte(sb.String()), &res); err != nil {
+		t.Fatalf("not one JSON object: %q (%v)", sb.String(), err)
+	}
+	g, err := butterfly.ReadKONECTFile(outPath)
+	if err != nil || g.NumEdges() != 16 {
+		t.Fatalf("peeled file wrong: %v", err)
 	}
 }

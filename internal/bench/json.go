@@ -13,11 +13,16 @@ import (
 
 	"butterfly/internal/core"
 	"butterfly/internal/graph"
+	"butterfly/internal/peel"
 )
 
 // JSONResult is one measured cell: a (dataset, algorithm, invariant,
 // threads) combination with its best-of-repeat wall time and the
-// allocation count of the measured run.
+// allocation count of the measured run. Counting rows put the butterfly
+// count in Count; peeling rows (schema v2, algorithm "peel-tip/…" or
+// "peel-wing/…") put the decomposition checksum (Σ tip/wing numbers)
+// there, which must agree across engines, and name the engine in
+// Invariant.
 type JSONResult struct {
 	Dataset   string `json:"dataset"`
 	Algorithm string `json:"algorithm"`
@@ -63,9 +68,11 @@ func measureJSON(repeat int, fn func() int64) (nsPerOp, allocs, count int64) {
 // invariant at each requested thread count, for every named dataset.
 // The "family/arena" row re-runs the sequential auto count through a
 // warm core.Arena, making the allocation win visible in the snapshot.
+// Schema v2 adds peeling rows: the tip and wing decompositions on the
+// delta and recount engines at every requested thread count.
 func JSONBench(names []string, dataDir string, scale int, threadsList []int, repeat int) (*JSONReport, error) {
 	rep := &JSONReport{
-		Schema: "bfbench/v1",
+		Schema: "bfbench/v2",
 		Go:     runtime.Version(),
 		Scale:  scale,
 		Repeat: repeat,
@@ -76,8 +83,52 @@ func JSONBench(names []string, dataDir string, scale int, threadsList []int, rep
 			return nil, err
 		}
 		rep.Results = append(rep.Results, jsonDatasetRows(name, g, threadsList, repeat)...)
+		rep.Results = append(rep.Results, jsonPeelRows(name, g, threadsList, repeat)...)
 	}
 	return rep, nil
+}
+
+// jsonPeelRows measures the tip and wing decompositions on both
+// peeling engines. Count is the decomposition checksum (Σ numbers), so
+// a snapshot diff immediately exposes an engine disagreement.
+func jsonPeelRows(name string, g *graph.Bipartite, threadsList []int, repeat int) []JSONResult {
+	threads := []int{1}
+	for _, t := range threadsList {
+		if t > 1 {
+			threads = append(threads, t)
+		}
+	}
+	var rows []JSONResult
+	for _, engine := range []peel.Engine{peel.EngineDelta, peel.EngineRecount} {
+		for _, t := range threads {
+			opts := peel.Options{Engine: engine, Threads: t}
+			ns, allocs, count := measureJSON(repeat, func() int64 {
+				tip, _ := peel.TipNumbersWith(g, core.SideV1, opts)
+				return sum64(tip)
+			})
+			rows = append(rows, JSONResult{
+				Dataset: name, Algorithm: "peel-tip/" + engine.String(), Invariant: engine.String(),
+				Threads: t, NsPerOp: ns, Allocs: allocs, Count: count,
+			})
+			ns, allocs, count = measureJSON(repeat, func() int64 {
+				wing, _ := peel.WingNumbersWith(g, opts)
+				return sum64(wing)
+			})
+			rows = append(rows, JSONResult{
+				Dataset: name, Algorithm: "peel-wing/" + engine.String(), Invariant: engine.String(),
+				Threads: t, NsPerOp: ns, Allocs: allocs, Count: count,
+			})
+		}
+	}
+	return rows
+}
+
+func sum64(vals []int64) int64 {
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
 }
 
 func jsonDatasetRows(name string, g *graph.Bipartite, threadsList []int, repeat int) []JSONResult {

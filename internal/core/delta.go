@@ -1,0 +1,385 @@
+package core
+
+// Wedge-delta kernels for incremental peeling (ParButterfly-style
+// bucketed decomposition; Shi & Shun [12], Wang et al. [13]).
+//
+// Round-synchronous peeling recomputes every surviving support from
+// scratch each round — O(wedges of the surviving subgraph) per level.
+// The kernels here invert that: given the batch peeled this round, they
+// compute the exact support *decrements* of the affected neighbors only,
+// so total decomposition cost is proportional to the butterflies
+// destroyed rather than levels × wedges.
+//
+// Exactness (asserted by the quick-check suites in delta_test.go and
+// internal/peel):
+//
+//   - Tip: removing an exposed-side batch B never changes the wedge
+//     multiplicity β_uw between two surviving exposed vertices (only
+//     exposed vertices leave; every secondary vertex and surviving edge
+//     stays). A survivor w therefore loses exactly
+//     Σ_{u∈B} C(β_uw, 2) butterflies — the pair terms it shared with
+//     the batch — and nothing else.
+//   - Wing: a butterfly {u,w} × {v,p} is destroyed by the batch iff at
+//     least one of its four edges is in the batch and none was dead
+//     before the batch. Each destroyed butterfly decrements the support
+//     of each of its surviving edges by exactly 1. To count every
+//     destroyed butterfly exactly once under parallel execution, the
+//     butterfly is "assigned" to its minimum-id batch edge: the sweep
+//     from batch edge e skips any butterfly that also contains a batch
+//     edge with a smaller flat id. The rule is order-free, so workers
+//     can process batch edges concurrently with atomic decrements.
+//
+// Both kernels draw scratch from a core.Arena and append first-touched
+// ids to a caller-owned buffer (deduplicated through a caller-owned
+// dirty-mark array), so steady-state peeling rounds allocate nothing on
+// the sequential path (TestTipDeltaSteadyStateZeroAlloc /
+// TestWingDeltaSteadyStateZeroAlloc).
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"butterfly/internal/graph"
+	"butterfly/internal/sparse"
+)
+
+// minDeltaParallelBatch is the smallest peeled batch worth fanning out
+// to worker goroutines; below it the spawn cost dominates the wedge
+// work and the kernels fall back to the sequential path.
+const minDeltaParallelBatch = 8
+
+// TipDeltaBatch subtracts from s the butterflies each still-alive
+// vertex of the chosen side lost when batch was peeled. alive must
+// already be false for every batch member (and every vertex peeled in
+// earlier rounds); s is indexed by side vertex. Every vertex whose
+// count actually decreased is appended exactly once to *touched, using
+// dirty (an all-zero int32 array of the side's length) for
+// deduplication; the caller must clear the marks of the returned ids
+// before the next round. With threads > 1 the batch is processed by
+// worker goroutines using atomic decrements; results are identical to
+// the sequential path (the decrement multiset is the same).
+func TipDeltaBatch(g *graph.Bipartite, side Side, batch []int32, alive []bool, s []int64, dirty []int32, touched *[]int32, threads int, a *Arena) {
+	if len(batch) == 0 {
+		return
+	}
+	exposed, secondary := vertexOrient(g, side)
+	if threads > len(batch) {
+		threads = len(batch)
+	}
+	if threads <= 1 || len(batch) < minDeltaParallelBatch {
+		ws := a.get(exposed.R)
+		for _, u := range batch {
+			partners := tipDeltaWedges(int(u), exposed, secondary, alive, ws)
+			acc := ws.acc
+			for _, w := range partners {
+				c := int64(acc[w])
+				acc[w] = 0
+				if b := c * (c - 1) / 2; b > 0 {
+					s[w] -= b
+					if dirty[w] == 0 {
+						dirty[w] = 1
+						*touched = append(*touched, w)
+					}
+				}
+			}
+			ws.touched = ws.touched[:0]
+		}
+		a.put(ws)
+		return
+	}
+
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := a.get(exposed.R)
+			defer a.put(ws)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(batch) {
+					break
+				}
+				partners := tipDeltaWedges(int(batch[i]), exposed, secondary, alive, ws)
+				acc := ws.acc
+				for _, w := range partners {
+					c := int64(acc[w])
+					acc[w] = 0
+					if b := c * (c - 1) / 2; b > 0 {
+						atomic.AddInt64(&s[w], -b)
+						if atomic.CompareAndSwapInt32(&dirty[w], 0, 1) {
+							mu.Lock()
+							*touched = append(*touched, w)
+							mu.Unlock()
+						}
+					}
+				}
+				ws.touched = ws.touched[:0]
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// tipDeltaWedges accumulates the wedge multiplicities β_uw of peeled
+// vertex u against every still-alive partner w into ws.acc and returns
+// the touched partner list. The caller consumes and re-zeroes the
+// accumulator (restoring the workspace's at-rest invariant). u itself
+// is never a partner because alive[u] is already false.
+func tipDeltaWedges(u int, exposed, secondary *sparse.CSR, alive []bool, ws *workspace) []int32 {
+	acc := ws.acc
+	partners := ws.touched[:0]
+	for _, y := range exposed.Row(u) {
+		for _, w := range secondary.Row(int(y)) {
+			if !alive[w] {
+				continue
+			}
+			if acc[w] == 0 {
+				partners = append(partners, w)
+			}
+			acc[w]++
+		}
+	}
+	ws.touched = partners
+	return partners
+}
+
+// TransposeEdgeMap returns tmap with tmap[j] equal to the flat edge id
+// in g.Adj() of the edge stored at flat position j of g.AdjT(). Built
+// in O(nnz); the wing-delta kernel uses it to resolve (w, v) edge ids
+// without per-wedge binary searches.
+func TransposeEdgeMap(g *graph.Bipartite) []int64 {
+	adj, adjT := g.Adj(), g.AdjT()
+	tmap := make([]int64, adj.NNZ())
+	next := make([]int64, adjT.R)
+	copy(next, adjT.Ptr[:adjT.R])
+	for u := 0; u < adj.R; u++ {
+		for k := adj.Ptr[u]; k < adj.Ptr[u+1]; k++ {
+			v := adj.Col[k]
+			tmap[next[v]] = k
+			next[v]++
+		}
+	}
+	return tmap
+}
+
+// WingDeltaBatch decrements sup (indexed by flat edge id of g.Adj())
+// for every surviving edge that lost butterflies when the batch of
+// edges was peeled. The caller must have, for every batch edge e:
+// alive[e] = false and inBatch[e] = true (inBatch distinguishes
+// "dying this round" from "dead in an earlier round"; the caller clears
+// it after the kernel returns). tmap is TransposeEdgeMap(g). Decrements
+// are deduplicated per destroyed butterfly via the minimum-batch-id
+// assignment rule, so the kernel is exact for batches of any size and
+// parallelizes over batch edges (threads > 1 uses atomic decrements).
+// First-touched surviving edges are appended to *touched once, using
+// dirty for deduplication as in TipDeltaBatch.
+//
+// pol selects the intersection flavor for resolving N(u) ∩ N(w): the
+// merge path walks both sorted rows; the hub path (taken for dense u
+// under HubAuto's cost model, always under HubAlways) materializes u's
+// neighbor→position map in the workspace accumulator so every partner
+// row is resolved by O(deg w) direct lookups — PR 1's dense-row-gets-a-
+// different-kernel policy applied to the delta sweep. All paths produce
+// identical decrements.
+func WingDeltaBatch(g *graph.Bipartite, batch []int64, alive, inBatch []bool, tmap, sup []int64, dirty []int32, touched *[]int64, threads int, pol HubPolicy, a *Arena) {
+	if len(batch) == 0 {
+		return
+	}
+	adj, adjT := g.Adj(), g.AdjT()
+	if threads > len(batch) {
+		threads = len(batch)
+	}
+	if threads <= 1 || len(batch) < minDeltaParallelBatch {
+		ws := a.get(adj.C)
+		for _, e := range batch {
+			wingDeltaEdge(e, adj, adjT, alive, inBatch, tmap, sup, dirty, touched, nil, pol, ws)
+		}
+		a.put(ws)
+		return
+	}
+
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+	)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := a.get(adj.C)
+			defer a.put(ws)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(batch) {
+					break
+				}
+				wingDeltaEdge(batch[i], adj, adjT, alive, inBatch, tmap, sup, dirty, touched, &mu, pol, ws)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// wingHubDeg is the minimum exposed degree at which the hub
+// (position-map) path pays for its build+clear cost under HubAuto.
+const wingHubDeg = 16
+
+// wingDeltaEdge enumerates the butterflies assigned to dying edge e and
+// decrements the supports of their surviving edges. mu == nil selects
+// the sequential (non-atomic) decrement path.
+func wingDeltaEdge(e int64, adj, adjT *sparse.CSR, alive, inBatch []bool, tmap, sup []int64, dirty []int32, touched *[]int64, mu *sync.Mutex, pol HubPolicy, ws *workspace) {
+	u := rowOfEdge(adj, e)
+	v := adj.Col[e]
+	ru := adj.Row(u)
+	baseU := adj.Ptr[u]
+	vrow := adjT.Row(int(v))
+	tbase := adjT.Ptr[int(v)]
+
+	// Hub path decision: materializing u's neighbor→position map costs
+	// 2·deg(u) and turns every partner intersection from a
+	// deg(u)+deg(w) merge into deg(w) direct lookups, so it wins as
+	// soon as u is dense and has at least a couple of partners.
+	usePos := false
+	switch pol {
+	case HubAlways:
+		usePos = len(ru) > 0
+	case HubAuto:
+		usePos = len(ru) >= wingHubDeg && len(vrow) >= 3
+	}
+	acc := ws.acc
+	if usePos {
+		for k, p := range ru {
+			acc[p] = int32(k) + 1
+		}
+	}
+
+	for wi, w := range vrow {
+		if int(w) == u {
+			continue
+		}
+		// Every butterfly {u,w} × {v,·} contains edge (w,v): if it died
+		// in an earlier round all those butterflies are long destroyed;
+		// if it dies this round with a smaller id, they are assigned to
+		// it, not to e.
+		ewv := tmap[tbase+int64(wi)]
+		if !alive[ewv] && !inBatch[ewv] {
+			continue
+		}
+		if inBatch[ewv] && ewv < e {
+			continue
+		}
+		rw := adj.Row(int(w))
+		baseW := adj.Ptr[w]
+		if usePos {
+			for kw, p := range rw {
+				if p == v {
+					continue
+				}
+				pu := acc[p]
+				if pu == 0 {
+					continue
+				}
+				wingButterfly(e, ewv, baseU+int64(pu)-1, baseW+int64(kw), alive, inBatch, sup, dirty, touched, mu)
+			}
+		} else {
+			x, y := 0, 0
+			for x < len(ru) && y < len(rw) {
+				switch {
+				case ru[x] < rw[y]:
+					x++
+				case ru[x] > rw[y]:
+					y++
+				default:
+					if ru[x] != v {
+						wingButterfly(e, ewv, baseU+int64(x), baseW+int64(y), alive, inBatch, sup, dirty, touched, mu)
+					}
+					x++
+					y++
+				}
+			}
+		}
+	}
+
+	if usePos {
+		for _, p := range ru {
+			acc[p] = 0
+		}
+	}
+}
+
+// wingButterfly applies the assignment rule to one candidate butterfly
+// (dying edge e, companion edges ewv, eup, ewp) and, if the butterfly
+// is destroyed by e, decrements the support of each surviving edge.
+func wingButterfly(e, ewv, eup, ewp int64, alive, inBatch []bool, sup []int64, dirty []int32, touched *[]int64, mu *sync.Mutex) {
+	if !alive[eup] && !inBatch[eup] {
+		return // butterfly destroyed in an earlier round
+	}
+	if !alive[ewp] && !inBatch[ewp] {
+		return
+	}
+	if inBatch[eup] && eup < e {
+		return // assigned to a smaller-id batch edge
+	}
+	if inBatch[ewp] && ewp < e {
+		return
+	}
+	if mu == nil {
+		if alive[ewv] {
+			wingDecSeq(ewv, sup, dirty, touched)
+		}
+		if alive[eup] {
+			wingDecSeq(eup, sup, dirty, touched)
+		}
+		if alive[ewp] {
+			wingDecSeq(ewp, sup, dirty, touched)
+		}
+		return
+	}
+	if alive[ewv] {
+		wingDecAtomic(ewv, sup, dirty, touched, mu)
+	}
+	if alive[eup] {
+		wingDecAtomic(eup, sup, dirty, touched, mu)
+	}
+	if alive[ewp] {
+		wingDecAtomic(ewp, sup, dirty, touched, mu)
+	}
+}
+
+func wingDecSeq(f int64, sup []int64, dirty []int32, touched *[]int64) {
+	sup[f]--
+	if dirty[f] == 0 {
+		dirty[f] = 1
+		*touched = append(*touched, f)
+	}
+}
+
+func wingDecAtomic(f int64, sup []int64, dirty []int32, touched *[]int64, mu *sync.Mutex) {
+	atomic.AddInt64(&sup[f], -1)
+	if atomic.CompareAndSwapInt32(&dirty[f], 0, 1) {
+		mu.Lock()
+		*touched = append(*touched, f)
+		mu.Unlock()
+	}
+}
+
+// rowOfEdge finds the exposed row of flat edge id e by binary search on
+// the row pointer.
+func rowOfEdge(a *sparse.CSR, e int64) int {
+	lo, hi := 0, a.R
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.Ptr[mid+1] > e {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

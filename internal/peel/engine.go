@@ -1,0 +1,102 @@
+package peel
+
+// Engine selection for the peeling algorithms: every decomposition and
+// k-subgraph extraction exists in two parallel flavors that produce
+// bit-identical results (peeling is confluent):
+//
+//   - EngineDelta (default): the incremental engine — bucketed peeling
+//     with exact wedge-delta support updates. Work is proportional to
+//     the butterflies destroyed; the hot path of choice.
+//   - EngineRecount: the round-synchronous engine — every round
+//     recomputes all surviving supports from scratch. O(levels ×
+//     wedges), but structurally trivial; kept as the differential-
+//     testing oracle and as a fallback for workloads with very few
+//     levels and enormous delta fan-out.
+
+import (
+	"runtime"
+
+	"butterfly/internal/core"
+	"butterfly/internal/graph"
+)
+
+// Engine selects the peeling execution strategy.
+type Engine int
+
+const (
+	// EngineDelta is the incremental wedge-delta engine (default).
+	EngineDelta Engine = iota
+	// EngineRecount is the round-synchronous full-recount engine.
+	EngineRecount
+)
+
+// String names the engine using the wire/CLI spelling.
+func (e Engine) String() string {
+	if e == EngineRecount {
+		return "recount"
+	}
+	return "delta"
+}
+
+// Options configures an engine-dispatched peeling run.
+type Options struct {
+	// Engine selects delta (zero value) or recount execution.
+	Engine Engine
+	// Threads is the worker count; ≤ 0 means one per CPU.
+	Threads int
+}
+
+// Stats reports how a peeling run executed.
+type Stats struct {
+	// Rounds is the number of peeled batches (delta) or recompute
+	// rounds (recount). Engines may legitimately differ: the delta
+	// engine counts the sub-rounds its cascades replay.
+	Rounds int
+}
+
+func (o Options) threads() int {
+	if o.Threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Threads
+}
+
+// TipNumbersWith runs the tip decomposition on the selected engine.
+func TipNumbersWith(g *graph.Bipartite, side core.Side, o Options) ([]int64, Stats) {
+	if o.Engine == EngineRecount {
+		tip, rounds := tipDecompositionRecount(g, side, o.threads())
+		return tip, Stats{Rounds: rounds}
+	}
+	tip, rounds := TipDecompositionDelta(g, side, o.threads())
+	return tip, Stats{Rounds: rounds}
+}
+
+// WingNumbersWith runs the wing decomposition on the selected engine.
+func WingNumbersWith(g *graph.Bipartite, o Options) ([]int64, Stats) {
+	if o.Engine == EngineRecount {
+		wing, rounds := wingDecompositionRecount(g, o.threads())
+		return wing, Stats{Rounds: rounds}
+	}
+	wing, rounds := WingDecompositionDelta(g, o.threads())
+	return wing, Stats{Rounds: rounds}
+}
+
+// KTipWith extracts the k-tip subgraph on the selected engine.
+func KTipWith(g *graph.Bipartite, k int64, side core.Side, o Options) (*graph.Bipartite, Stats) {
+	if o.Engine == EngineRecount {
+		sub, rounds := kTipRecount(g, k, side, o.threads())
+		return sub, Stats{Rounds: rounds}
+	}
+	sub, rounds := KTipDelta(g, k, side, o.threads())
+	return sub, Stats{Rounds: rounds}
+}
+
+// KWingWith extracts the k-wing subgraph on the selected engine.
+func KWingWith(g *graph.Bipartite, k int64, o Options) (*graph.Bipartite, Stats) {
+	if o.Engine == EngineRecount {
+		sub, rounds := kWingRecount(g, k, o.threads())
+		return sub, Stats{Rounds: rounds}
+	}
+	sub, rounds := KWingDelta(g, k, o.threads())
+	return sub, Stats{Rounds: rounds}
+}

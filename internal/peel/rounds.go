@@ -21,7 +21,18 @@ import (
 //
 // All rounds share one output buffer and one core.Arena, so the loop's
 // steady state allocates nothing (see TestTipRoundsArenaZeroAlloc).
+//
+// This is the "recount" engine: simple, internally parallel, and kept
+// as the differential-testing oracle for the incremental delta engine
+// (TipDecompositionDelta), which does asymptotically less work.
 func TipDecompositionRounds(g *graph.Bipartite, side core.Side, threads int) []int64 {
+	tip, _ := tipDecompositionRecount(g, side, threads)
+	return tip
+}
+
+// tipDecompositionRecount is TipDecompositionRounds reporting the
+// number of peeling rounds.
+func tipDecompositionRecount(g *graph.Bipartite, side core.Side, threads int) ([]int64, int) {
 	n := g.NumV1()
 	if side == core.SideV2 {
 		n = g.NumV2()
@@ -34,10 +45,12 @@ func TipDecompositionRounds(g *graph.Bipartite, side core.Side, threads int) []i
 	}
 	tip := make([]int64, n)
 	var level int64
+	rounds := 0
 
 	arena := core.NewArena()
 	s := make([]int64, n)
 	for remaining > 0 {
+		rounds++
 		core.VertexButterfliesMaskedInto(s, g, side, active, threads, arena)
 		// Find the minimum count among active vertices.
 		min := int64(-1)
@@ -58,12 +71,20 @@ func TipDecompositionRounds(g *graph.Bipartite, side core.Side, threads int) []i
 			}
 		}
 	}
-	return tip
+	return tip, rounds
 }
 
 // KTipParallel is KTipSubgraph with the per-iteration butterfly vector
 // computed by `threads` workers. Results are identical to KTipSubgraph.
+// Like TipDecompositionRounds this is the recount engine, kept as the
+// oracle for KTipDelta.
 func KTipParallel(g *graph.Bipartite, k int64, side core.Side, threads int) *graph.Bipartite {
+	sub, _ := kTipRecount(g, k, side, threads)
+	return sub
+}
+
+// kTipRecount is KTipParallel reporting the number of fixpoint rounds.
+func kTipRecount(g *graph.Bipartite, k int64, side core.Side, threads int) (*graph.Bipartite, int) {
 	n := g.NumV1()
 	if side == core.SideV2 {
 		n = g.NumV2()
@@ -74,7 +95,9 @@ func KTipParallel(g *graph.Bipartite, k int64, side core.Side, threads int) *gra
 	}
 	arena := core.NewArena()
 	s := make([]int64, n)
+	rounds := 0
 	for {
+		rounds++
 		core.VertexButterfliesMaskedInto(s, g, side, active, threads, arena)
 		changed := false
 		for u := range active {
@@ -87,5 +110,5 @@ func KTipParallel(g *graph.Bipartite, k int64, side core.Side, threads int) *gra
 			break
 		}
 	}
-	return maskSide(g, side, active)
+	return maskSide(g, side, active), rounds
 }

@@ -9,18 +9,28 @@ import (
 // KWingParallel is KWingSubgraph with each iteration's support matrix
 // computed by `threads` workers; the fixpoint is identical. The rounds
 // share one value buffer and one core.Arena, so each iteration's
-// support sweep reuses the previous round's scratch.
+// support sweep reuses the previous round's scratch. This is the
+// recount engine, kept as the oracle for KWingDelta.
 func KWingParallel(g *graph.Bipartite, k int64, threads int) *graph.Bipartite {
+	sub, _ := kWingRecount(g, k, threads)
+	return sub
+}
+
+// kWingRecount is KWingParallel reporting the number of fixpoint
+// rounds.
+func kWingRecount(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, int) {
 	arena := core.NewArena()
 	valsBuf := make([]int64, g.NumEdges())
 	cur := g
+	rounds := 0
 	for {
+		rounds++
 		sw := core.EdgeSupportParallelInto(valsBuf, cur, threads, arena)
 		kept := sparse.PatternOf(sparse.Select(sw, func(_ int, _ int32, v int64) bool {
 			return v >= k
 		}))
 		if kept.NNZ() == cur.NumEdges() {
-			return cur
+			return cur, rounds
 		}
 		next, err := graph.FromCSR(kept)
 		if err != nil {
@@ -40,7 +50,18 @@ func KWingParallel(g *graph.Bipartite, k int64, threads int) *graph.Bipartite {
 // Edge identities are flat indices into g.Adj(); removed edges keep
 // their original ids across rounds via an explicit id map, so the
 // output lines up with WingDecomposition's.
+//
+// This is the recount engine — every round rebuilds the surviving
+// subgraph and recomputes all supports — kept as the oracle for the
+// incremental WingDecompositionDelta.
 func WingDecompositionRounds(g *graph.Bipartite, threads int) []int64 {
+	wing, _ := wingDecompositionRecount(g, threads)
+	return wing
+}
+
+// wingDecompositionRecount is WingDecompositionRounds reporting the
+// number of peeling rounds.
+func wingDecompositionRecount(g *graph.Bipartite, threads int) ([]int64, int) {
 	orig := g.Adj()
 	wing := make([]int64, orig.NNZ())
 
@@ -55,7 +76,9 @@ func WingDecompositionRounds(g *graph.Bipartite, threads int) []int64 {
 	valsBuf := make([]int64, orig.NNZ())
 
 	var level int64
+	rounds := 0
 	for cur.NumEdges() > 0 {
+		rounds++
 		sup := core.EdgeSupportParallelInto(valsBuf, cur, threads, arena)
 		min := int64(-1)
 		for _, v := range sup.Val {
@@ -95,5 +118,5 @@ func WingDecompositionRounds(g *graph.Bipartite, threads int) []int64 {
 		cur = next
 		ids = nextIDs
 	}
-	return wing
+	return wing, rounds
 }

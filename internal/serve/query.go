@@ -103,11 +103,26 @@ func keyEstimate(req *serveapi.EstimateRequest) string {
 	return fmt.Sprintf("estimate|%s|samples=%d|p=%g|seed=%d", req.Strategy, req.Samples, req.P, req.Seed)
 }
 
-func keyPeel(mode string, k int64, side butterfly.Side) string {
+// keyPeel includes the engine: the subgraph summary is identical
+// across engines (confluence), but the response also reports the
+// engine and its round count, which legitimately differ.
+func keyPeel(mode string, k int64, side butterfly.Side, engine butterfly.PeelEngine) string {
 	if mode == "wing" {
-		return fmt.Sprintf("peel|wing|k=%d", k)
+		return fmt.Sprintf("peel|wing|k=%d|%v", k, engine)
 	}
-	return fmt.Sprintf("peel|tip|k=%d|%v", k, side)
+	return fmt.Sprintf("peel|tip|k=%d|%v|%v", k, side, engine)
+}
+
+// parsePeelEngine maps the wire spelling to a PeelEngine.
+func parsePeelEngine(s string) (butterfly.PeelEngine, error) {
+	switch s {
+	case "", "delta":
+		return butterfly.PeelDelta, nil
+	case "recount":
+		return butterfly.PeelRecount, nil
+	default:
+		return 0, badReqf("unknown engine %q (want delta|recount)", s)
+	}
 }
 
 // execCount runs an exact count on the snapshot with true cooperative
@@ -240,18 +255,30 @@ func (s *Server) execPeel(ctx context.Context, sl *slot, snap *Snapshot, req *se
 	default:
 		return nil, badReqf("unknown mode %q (want tip|wing)", req.Mode)
 	}
-	sub, err := runAbandon(ctx, sl, func() (*butterfly.Graph, error) {
+	engine, err := parsePeelEngine(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	opts := butterfly.PeelOptions{Engine: engine, Threads: req.Threads}
+	type peeled struct {
+		sub   *butterfly.Graph
+		stats butterfly.PeelStats
+	}
+	r, err := runAbandon(ctx, sl, func() (peeled, error) {
 		if mode == "wing" {
-			return snap.Graph.KWingParallel(req.K, req.Threads)
+			sub, st, err := snap.Graph.KWingWith(req.K, opts)
+			return peeled{sub, st}, err
 		}
-		return snap.Graph.KTipParallel(req.K, side, req.Threads)
+		sub, st, err := snap.Graph.KTipWith(req.K, side, opts)
+		return peeled{sub, st}, err
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &serveapi.PeelResponse{
 		Graph: snap.Name, Version: snap.Version, Mode: mode, K: req.K,
-		EdgesRemaining: sub.NumEdges(), Butterflies: sub.Count(),
+		Engine: engine.String(), Rounds: r.stats.Rounds,
+		EdgesRemaining: r.sub.NumEdges(), Butterflies: r.sub.Count(),
 	}, nil
 }
 

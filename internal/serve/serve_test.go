@@ -125,6 +125,23 @@ func TestQueryEndpoints(t *testing.T) {
 	if pl.EdgesRemaining != 16 || pl.Butterflies != 36 {
 		t.Fatalf("peel = %+v", pl)
 	}
+	// Nothing is below k=1 in K(4,4), so the delta cascade settles in
+	// zero rounds — the engine name still reports the default.
+	if pl.Engine != "delta" || pl.Rounds != 0 {
+		t.Fatalf("peel should default to the delta engine: %+v", pl)
+	}
+	// The recount engine answers identically (confluence) and reports
+	// its own engine name and round count.
+	plr, err := c.Peel(ctx, "k44", serveapi.PeelRequest{Mode: "tip", K: 1, Side: "v1", Engine: "recount"})
+	if err != nil {
+		t.Fatalf("peel recount: %v", err)
+	}
+	if plr.EdgesRemaining != pl.EdgesRemaining || plr.Butterflies != pl.Butterflies {
+		t.Fatalf("engines disagree: delta %+v recount %+v", pl, plr)
+	}
+	if plr.Engine != "recount" || plr.Rounds < 1 {
+		t.Fatalf("peel recount = %+v", plr)
+	}
 	// k beyond every tip number peels everything.
 	pl, err = c.Peel(ctx, "k44", serveapi.PeelRequest{Mode: "wing", K: 1000})
 	if err != nil {
@@ -132,6 +149,9 @@ func TestQueryEndpoints(t *testing.T) {
 	}
 	if pl.EdgesRemaining != 0 || pl.Butterflies != 0 {
 		t.Fatalf("peel wing k=1000 = %+v", pl)
+	}
+	if pl.Engine != "delta" || pl.Rounds < 1 {
+		t.Fatalf("peeling everything should report at least one delta round: %+v", pl)
 	}
 }
 
@@ -175,6 +195,8 @@ func TestBadInputs(t *testing.T) {
 	wantStatus(err, http.StatusBadRequest, "bad mode")
 	_, err = c.Peel(ctx, "k44", serveapi.PeelRequest{Mode: "tip", K: -1})
 	wantStatus(err, http.StatusBadRequest, "negative k")
+	_, err = c.Peel(ctx, "k44", serveapi.PeelRequest{Mode: "tip", K: 1, Engine: "heapsort"})
+	wantStatus(err, http.StatusBadRequest, "bad engine")
 	_, err = c.Mutate(ctx, "k44", serveapi.MutateRequest{Inserts: [][2]int{{9, 0}}})
 	wantStatus(err, http.StatusBadRequest, "out-of-range insert")
 	_, err = c.Register(ctx, serveapi.RegisterRequest{Name: "k44", M: 2, N: 2, Edges: completeEdges(2, 2)})

@@ -667,7 +667,12 @@ func (s *Server) handlePeel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badReqf("k must be ≥ 0, got %d", req.K))
 		return
 	}
-	s.serveQuery(w, r, req.TimeoutMillis, keyPeel(req.Mode, req.K, side), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+	engine, err := parsePeelEngine(req.Engine)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.serveQuery(w, r, req.TimeoutMillis, keyPeel(req.Mode, req.K, side, engine), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
 		return s.execPeel(ctx, sl, snap, &req)
 	})
 }

@@ -2,7 +2,6 @@ package butterfly
 
 import (
 	"fmt"
-	"runtime"
 
 	"butterfly/internal/peel"
 )
@@ -60,37 +59,114 @@ func (g *Graph) TipNumbers(side Side) ([]int64, error) {
 	return peel.TipDecomposition(g.g, s), nil
 }
 
-// KTipParallel is KTip with the per-iteration butterfly vector
-// computed by `threads` workers (GOMAXPROCS if ≤ 0); the result is
-// identical to KTip.
-func (g *Graph) KTipParallel(k int64, side Side, threads int) (*Graph, error) {
+// PeelEngine selects the execution strategy of the parallel peeling
+// entry points. Both engines produce bit-identical results (peeling is
+// confluent); they differ only in how much work each round does.
+type PeelEngine int
+
+const (
+	// PeelDelta is the incremental wedge-delta engine (default):
+	// bucketed peeling whose work is proportional to the butterflies
+	// actually destroyed.
+	PeelDelta PeelEngine = iota
+	// PeelRecount is the round-synchronous engine: every round
+	// recomputes all surviving supports from scratch. Kept as the
+	// differential-testing oracle and for few-level workloads with
+	// enormous delta fan-out.
+	PeelRecount
+)
+
+// String names the engine with the wire/CLI spelling.
+func (e PeelEngine) String() string {
+	if e == PeelRecount {
+		return "recount"
+	}
+	return "delta"
+}
+
+// PeelOptions configures an engine-dispatched peeling run.
+type PeelOptions struct {
+	// Engine selects the delta (zero value) or recount execution.
+	Engine PeelEngine
+	// Threads is the worker count; ≤ 0 means one per CPU.
+	Threads int
+}
+
+// PeelStats reports how a peeling run executed.
+type PeelStats struct {
+	// Engine is the engine that actually ran.
+	Engine PeelEngine
+	// Rounds is the number of peeled batches (delta) or recompute
+	// rounds (recount). Engines legitimately differ here: the delta
+	// engine counts the sub-rounds its cascades replay.
+	Rounds int
+}
+
+func (o PeelOptions) internal() peel.Options {
+	po := peel.Options{Threads: o.Threads}
+	if o.Engine == PeelRecount {
+		po.Engine = peel.EngineRecount
+	}
+	return po
+}
+
+// TipNumbersWith computes tip numbers on the engine selected by opts.
+// Results are identical across engines.
+func (g *Graph) TipNumbersWith(side Side, opts PeelOptions) ([]int64, PeelStats, error) {
+	s, err := side.internal()
+	if err != nil {
+		return nil, PeelStats{}, err
+	}
+	tip, st := peel.TipNumbersWith(g.g, s, opts.internal())
+	return tip, PeelStats{Engine: opts.Engine, Rounds: st.Rounds}, nil
+}
+
+// WingNumbersWith computes wing numbers on the engine selected by opts.
+// Results are identical across engines.
+func (g *Graph) WingNumbersWith(opts PeelOptions) ([]EdgeCount, PeelStats) {
+	wing, st := peel.WingNumbersWith(g.g, opts.internal())
+	return g.wingNumbersFrom(wing), PeelStats{Engine: opts.Engine, Rounds: st.Rounds}
+}
+
+// KTipWith extracts the k-tip subgraph on the engine selected by opts.
+func (g *Graph) KTipWith(k int64, side Side, opts PeelOptions) (*Graph, PeelStats, error) {
 	if k < 0 {
-		return nil, fmt.Errorf("butterfly: negative k %d", k)
+		return nil, PeelStats{}, fmt.Errorf("butterfly: negative k %d", k)
 	}
 	s, err := side.internal()
 	if err != nil {
-		return nil, err
+		return nil, PeelStats{}, err
 	}
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
+	sub, st := peel.KTipWith(g.g, k, s, opts.internal())
+	return &Graph{g: sub}, PeelStats{Engine: opts.Engine, Rounds: st.Rounds}, nil
+}
+
+// KWingWith extracts the k-wing subgraph on the engine selected by opts.
+func (g *Graph) KWingWith(k int64, opts PeelOptions) (*Graph, PeelStats, error) {
+	if k < 0 {
+		return nil, PeelStats{}, fmt.Errorf("butterfly: negative k %d", k)
 	}
-	return &Graph{g: peel.KTipParallel(g.g, k, s, threads)}, nil
+	sub, st := peel.KWingWith(g.g, k, opts.internal())
+	return &Graph{g: sub}, PeelStats{Engine: opts.Engine, Rounds: st.Rounds}, nil
+}
+
+// KTipParallel is KTip computed by `threads` workers (GOMAXPROCS if
+// ≤ 0) on the default incremental (delta) engine; the result is
+// identical to KTip. Use KTipWith to pick the engine explicitly.
+func (g *Graph) KTipParallel(k int64, side Side, threads int) (*Graph, error) {
+	sub, _, err := g.KTipWith(k, side, PeelOptions{Threads: threads})
+	return sub, err
 }
 
 // TipNumbersRounds computes the same tip numbers as TipNumbers with
-// round-synchronous (bulk-parallel) peeling: each round removes every
-// vertex at or below the current level and recomputes survivors with
-// `threads` workers. Identical results; different scaling profile —
-// rounds win when the peeling hierarchy is shallow.
+// bulk-parallel peeling on the default incremental (delta) engine:
+// batches are peeled level by level and only the supports each batch
+// actually changes are updated, by `threads` workers. Identical
+// results; the delta engine wins whenever recomputation would dominate.
+// Use TipNumbersWith to pick the engine explicitly.
 func (g *Graph) TipNumbersRounds(side Side, threads int) ([]int64, error) {
-	s, err := side.internal()
-	if err != nil {
-		return nil, err
-	}
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	return peel.TipDecompositionRounds(g.g, s, threads), nil
+	tip, _, err := g.TipNumbersWith(side, PeelOptions{Threads: threads})
+	return tip, err
 }
 
 // WingNumbers returns the wing number of every edge — the largest k
@@ -100,27 +176,21 @@ func (g *Graph) WingNumbers() []EdgeCount {
 	return g.wingNumbersFrom(peel.WingDecomposition(g.g))
 }
 
-// WingNumbersRounds computes the same wing numbers with
-// round-synchronous peeling whose per-round support recomputation uses
-// `threads` workers (GOMAXPROCS if ≤ 0). Identical results; rounds win
-// when the peeling hierarchy is shallow.
+// WingNumbersRounds computes the same wing numbers as WingNumbers with
+// bulk-parallel peeling on the default incremental (delta) engine,
+// using `threads` workers (GOMAXPROCS if ≤ 0). Identical results. Use
+// WingNumbersWith to pick the engine explicitly.
 func (g *Graph) WingNumbersRounds(threads int) []EdgeCount {
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	return g.wingNumbersFrom(peel.WingDecompositionRounds(g.g, threads))
+	wing, _ := g.WingNumbersWith(PeelOptions{Threads: threads})
+	return wing
 }
 
-// KWingParallel is KWing with each iteration's support matrix computed
-// by `threads` workers (GOMAXPROCS if ≤ 0).
+// KWingParallel is KWing computed by `threads` workers (GOMAXPROCS if
+// ≤ 0) on the default incremental (delta) engine. Use KWingWith to
+// pick the engine explicitly.
 func (g *Graph) KWingParallel(k int64, threads int) (*Graph, error) {
-	if k < 0 {
-		return nil, fmt.Errorf("butterfly: negative k %d", k)
-	}
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	return &Graph{g: peel.KWingParallel(g.g, k, threads)}, nil
+	sub, _, err := g.KWingWith(k, PeelOptions{Threads: threads})
+	return sub, err
 }
 
 // DensestSubgraph holds the result of DensestByButterflies.

@@ -150,22 +150,32 @@ type EstimateResponse struct {
 }
 
 // PeelRequest runs a k-tip or k-wing peel. Mode is "tip" (Side "v1"
-// or "v2", default "v1") or "wing". Threads ≤ 0 means one worker per
-// CPU; the thread count does not affect the result.
+// or "v2", default "v1") or "wing". Engine selects the peeling
+// execution strategy: "delta" (default, incremental wedge-delta
+// peeling) or "recount" (round-synchronous full recomputation). Both
+// engines produce identical subgraphs; they differ in speed and in the
+// Rounds they report. Threads ≤ 0 means one worker per CPU; neither
+// the thread count nor the engine affects the result.
 type PeelRequest struct {
 	Mode          string `json:"mode"`
 	K             int64  `json:"k"`
 	Side          string `json:"side,omitempty"`
+	Engine        string `json:"engine,omitempty"`
 	Threads       int    `json:"threads,omitempty"`
 	TimeoutMillis int    `json:"timeout_ms,omitempty"`
 }
 
-// PeelResponse summarizes the surviving subgraph.
+// PeelResponse summarizes the surviving subgraph. Engine is the engine
+// that ran ("delta" or "recount"); Rounds is its number of peeled
+// batches (delta) or fixpoint rounds (recount) — engine-specific by
+// nature, which is why the result cache keys peels by engine.
 type PeelResponse struct {
 	Graph          string `json:"graph"`
 	Version        uint64 `json:"version"`
 	Mode           string `json:"mode"`
 	K              int64  `json:"k"`
+	Engine         string `json:"engine"`
+	Rounds         int    `json:"rounds"`
 	EdgesRemaining int64  `json:"edges_remaining"`
 	Butterflies    int64  `json:"butterflies"`
 	ElapsedMS      int64  `json:"elapsed_ms"`

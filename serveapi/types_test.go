@@ -95,12 +95,14 @@ func TestWireFormat(t *testing.T) {
 			`{"graph":"g","version":1,"estimate":35.5,"elapsed_ms":2}`,
 		},
 		{
-			// Mode accepts "tip" or "wing"; both spellings are pinned.
+			// Mode accepts "tip" or "wing"; both spellings are pinned,
+			// as are both engine spellings.
 			"PeelRequest tip",
-			&PeelRequest{Mode: "tip", K: 8, Side: "v2", Threads: 4, TimeoutMillis: 100},
-			`{"mode":"tip","k":8,"side":"v2","threads":4,"timeout_ms":100}`,
+			&PeelRequest{Mode: "tip", K: 8, Side: "v2", Engine: "recount", Threads: 4, TimeoutMillis: 100},
+			`{"mode":"tip","k":8,"side":"v2","engine":"recount","threads":4,"timeout_ms":100}`,
 		},
 		{
+			// Engine omits when empty (server defaults to delta).
 			"PeelRequest wing",
 			&PeelRequest{Mode: "wing", K: 2},
 			`{"mode":"wing","k":2}`,
@@ -108,8 +110,10 @@ func TestWireFormat(t *testing.T) {
 		{
 			"PeelResponse",
 			&PeelResponse{Graph: "g", Version: 1, Mode: "wing", K: 2,
+				Engine: "delta", Rounds: 7,
 				EdgesRemaining: 12, Butterflies: 9, ElapsedMS: 3},
 			`{"graph":"g","version":1,"mode":"wing","k":2,` +
+				`"engine":"delta","rounds":7,` +
 				`"edges_remaining":12,"butterflies":9,"elapsed_ms":3}`,
 		},
 		{
