@@ -7,8 +7,12 @@
 //	info, err := c.Register(ctx, serveapi.RegisterRequest{Name: "g", Dataset: "occupations", Scale: 10})
 //	count, err := c.Count(ctx, "g", serveapi.CountRequest{Threads: -1})
 //
-// Overload (429) and deadline (504) responses map to ErrOverloaded
-// and ErrDeadline so callers can branch with errors.Is.
+// The client speaks the versioned /v1 surface: every non-2xx response
+// is the uniform {error:{code,message,...}} envelope, decoded into an
+// *APIError carrying the machine-readable Code and, on 429, the
+// server's RetryAfterMS hint. Overload (429), deadline (504) and
+// unknown-graph (404) responses additionally unwrap to ErrOverloaded,
+// ErrDeadline and ErrNotFound so callers can branch with errors.Is.
 package client
 
 import (
@@ -26,7 +30,8 @@ import (
 )
 
 // ErrOverloaded reports a 429: the server shed the request because its
-// admission queue was full. Retry with backoff.
+// admission queue was full. Retry with backoff (the APIError's
+// RetryAfterMS carries the server's hint).
 var ErrOverloaded = errors.New("bfserved: overloaded (429)")
 
 // ErrDeadline reports a 504: the per-request deadline expired before
@@ -37,13 +42,21 @@ var ErrDeadline = errors.New("bfserved: deadline exceeded (504)")
 var ErrNotFound = errors.New("bfserved: graph not found (404)")
 
 // APIError is any non-2xx response; 429/504/404 additionally unwrap to
-// the sentinel errors above.
+// the sentinel errors above. Code is the machine-readable error code
+// from the /v1 envelope (one of the serveapi.Code* constants; empty
+// when talking to a pre-/v1 server). RetryAfterMS is the server's
+// backoff hint, nonzero only with serveapi.CodeOverloaded.
 type APIError struct {
-	Status  int
-	Message string
+	Status       int
+	Code         string
+	Message      string
+	RetryAfterMS int64
 }
 
 func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("bfserved: %d %s: %s", e.Status, e.Code, e.Message)
+	}
 	return fmt.Sprintf("bfserved: %d: %s", e.Status, e.Message)
 }
 
@@ -80,7 +93,7 @@ func WithHTTPClient(h *http.Client) Option {
 func (c *Client) BaseURL() string { return c.base }
 
 // New returns a client for the server at base (e.g.
-// "http://localhost:8080").
+// "http://localhost:8080"). API paths are resolved under base+"/v1".
 func New(base string, opts ...Option) *Client {
 	c := &Client{base: base, http: &http.Client{Timeout: 10 * time.Minute}}
 	for _, o := range opts {
@@ -89,8 +102,30 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// do issues one request and decodes the response into out (skipped
-// when out is nil).
+// decodeError turns a non-2xx response body into an *APIError. It
+// decodes the /v1 envelope first and falls back to the legacy
+// {status,error} shape so the client degrades gracefully against
+// pre-/v1 servers.
+func decodeError(status int, statusLine string, body io.Reader) error {
+	b, _ := io.ReadAll(io.LimitReader(body, 1<<20))
+	var env serveapi.ErrorEnvelope
+	if json.Unmarshal(b, &env) == nil && env.Error.Message != "" {
+		return &APIError{
+			Status:       status,
+			Code:         env.Error.Code,
+			Message:      env.Error.Message,
+			RetryAfterMS: env.Error.RetryAfterMS,
+		}
+	}
+	var legacy serveapi.Error
+	if json.Unmarshal(b, &legacy) == nil && legacy.Message != "" {
+		return &APIError{Status: status, Message: legacy.Message}
+	}
+	return &APIError{Status: status, Message: statusLine}
+}
+
+// do issues one request against the /v1 surface and decodes the
+// response into out (skipped when out is nil).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -100,7 +135,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+"/v1"+path, body)
 	if err != nil {
 		return err
 	}
@@ -113,12 +148,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var apiErr serveapi.Error
-		msg := resp.Status
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr) == nil && apiErr.Message != "" {
-			msg = apiErr.Message
-		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return decodeError(resp.StatusCode, resp.Status, resp.Body)
 	}
 	if out == nil {
 		return nil
@@ -126,15 +156,16 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Health fetches /healthz. A draining server answers 503, surfaced as
-// an APIError.
+// Health fetches /v1/healthz. A draining server answers 503, surfaced
+// as an APIError.
 func (c *Client) Health(ctx context.Context) (serveapi.Health, error) {
 	var h serveapi.Health
 	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
 	return h, err
 }
 
-// Metrics fetches the raw Prometheus exposition text.
+// Metrics fetches the raw Prometheus exposition text. /metrics is
+// infrastructure and stays unversioned.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
 	if err != nil {

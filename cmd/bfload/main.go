@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"butterfly/client"
+	"butterfly/internal/obsv"
 	"butterfly/serveapi"
 )
 
@@ -70,6 +71,13 @@ type report struct {
 	ByStatus    map[string]int     `json:"by_status"`
 	Server5xx   int                `json:"server_5xx"`
 	OpLatencyMS map[string]float64 `json:"op_mean_latency_ms"`
+	// OpPercentiles reports per-endpoint p50/p95/p99 estimated from a
+	// fixed-bucket latency histogram per op (same buckets as the
+	// server's bfserved_route_seconds), so client-observed and
+	// server-observed latencies compare bucket for bucket.
+	OpPercentiles map[string]latencyPct `json:"op_latency_ms"`
+	// Retries429 counts requests re-sent after a 429 under -retry429.
+	Retries429 int `json:"retries_429,omitempty"`
 }
 
 type latencySummary struct {
@@ -78,6 +86,13 @@ type latencySummary struct {
 	P99  float64 `json:"p99"`
 	Max  float64 `json:"max"`
 	Mean float64 `json:"mean"`
+}
+
+// latencyPct is the per-op histogram summary.
+type latencyPct struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -96,6 +111,7 @@ func run(args []string, out io.Writer) error {
 		timeoutMS  = fs.Int("timeout-ms", 0, "per-request timeout_ms sent to the server (0 = server default)")
 		jsonOut    = fs.String("json", "", "write the report as JSON to this file, or - for stdout")
 		allow5xx   = fs.Bool("allow-5xx", false, "do not fail on 5xx responses")
+		retry429   = fs.Bool("retry429", false, "re-send shed (429) requests after the server's retry_after_ms hint (up to 3 attempts)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,9 +153,16 @@ func run(args []string, out io.Writer) error {
 		byStatus  = map[string]int{}
 		opLatSum  = map[string]float64{}
 		fiveXX    atomic.Int64
+		retried   atomic.Int64
 		next      atomic.Int64
 		wg        sync.WaitGroup
 	)
+	// Per-op latency histograms (concurrency-safe; observed in
+	// seconds, reported in ms) for the p50/p95/p99 table.
+	var opHist [numOps]*obsv.Histogram
+	for i := range opHist {
+		opHist[i] = obsv.NewHistogram(obsv.LatencyBuckets)
+	}
 
 	start := time.Now()
 	for w := 0; w < *c; w++ {
@@ -153,12 +176,29 @@ func run(args []string, out io.Writer) error {
 					return
 				}
 				op := pickOp(rng, weights)
-				t0 := time.Now()
-				status := doOp(ctx, cl, *graph, info, op, rng, *timeoutMS)
-				dt := time.Since(t0).Seconds() * 1000
+				var (
+					status  int
+					retryMS int64
+					dt      float64
+				)
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					status, retryMS = doOp(ctx, cl, *graph, info, op, rng, *timeoutMS)
+					dt = time.Since(t0).Seconds() * 1000
+					if status != 429 || !*retry429 || attempt >= 3 {
+						break
+					}
+					// Honor the server's backoff hint before re-sending.
+					retried.Add(1)
+					if retryMS <= 0 {
+						retryMS = 100
+					}
+					time.Sleep(time.Duration(retryMS) * time.Millisecond)
+				}
 				if status >= 500 {
 					fiveXX.Add(1)
 				}
+				opHist[op].Observe(dt / 1000)
 				mu.Lock()
 				latencies = append(latencies, dt)
 				byOp[opNames[op]]++
@@ -192,11 +232,23 @@ func run(args []string, out io.Writer) error {
 			Max: pct(1.0), Mean: sum / float64(len(latencies)),
 		},
 		ByOp: byOp, ByStatus: byStatus,
-		Server5xx:   int(fiveXX.Load()),
-		OpLatencyMS: map[string]float64{},
+		Server5xx:     int(fiveXX.Load()),
+		OpLatencyMS:   map[string]float64{},
+		OpPercentiles: map[string]latencyPct{},
+		Retries429:    int(retried.Load()),
 	}
 	for op, total := range opLatSum {
 		rep.OpLatencyMS[op] = total / float64(byOp[op])
+	}
+	for i, h := range opHist {
+		if h.Count() == 0 {
+			continue
+		}
+		rep.OpPercentiles[opNames[i]] = latencyPct{
+			P50: h.Quantile(0.50) * 1000,
+			P95: h.Quantile(0.95) * 1000,
+			P99: h.Quantile(0.99) * 1000,
+		}
 	}
 
 	fmt.Fprintf(out, "%d requests in %.2fs → %.1f req/s (workers=%d)\n",
@@ -217,7 +269,12 @@ func run(args []string, out io.Writer) error {
 	}
 	sort.Strings(ops)
 	for _, o := range ops {
-		fmt.Fprintf(out, "  op %-8s %6d (mean %.2f ms)\n", o, byOp[o], rep.OpLatencyMS[o])
+		pct := rep.OpPercentiles[o]
+		fmt.Fprintf(out, "  op %-8s %6d (mean %.2f ms, p50≈%.2f p95≈%.2f p99≈%.2f)\n",
+			o, byOp[o], rep.OpLatencyMS[o], pct.P50, pct.P95, pct.P99)
+	}
+	if rep.Retries429 > 0 {
+		fmt.Fprintf(out, "  retried %d shed request(s) after retry_after_ms\n", rep.Retries429)
 	}
 
 	if *jsonOut != "" {
@@ -252,8 +309,9 @@ func run(args []string, out io.Writer) error {
 // doOp fires one request and returns its HTTP status: 200 on success,
 // the APIError status on an HTTP-level failure, and 0 for transport
 // errors (connection refused, timeouts below HTTP) — reported as
-// their own bucket in the status table.
-func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.GraphInfo, op opKind, rng *rand.Rand, timeoutMS int) int {
+// their own bucket in the status table. The second return is the
+// server's retry_after_ms backoff hint, nonzero only on 429.
+func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.GraphInfo, op opKind, rng *rand.Rand, timeoutMS int) (int, int64) {
 	var err error
 	switch op {
 	case opCount:
@@ -286,13 +344,13 @@ func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.Gr
 		_, err = cl.Mutate(ctx, graph, serveapi.MutateRequest{Inserts: ins, Deletes: del})
 	}
 	if err == nil {
-		return 200
+		return 200, 0
 	}
 	var apiErr *client.APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.Status
+		return apiErr.Status, apiErr.RetryAfterMS
 	}
-	return 0 // transport failure
+	return 0, 0 // transport failure
 }
 
 func pickOp(rng *rand.Rand, weights [numOps]int) opKind {

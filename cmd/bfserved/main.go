@@ -75,6 +75,9 @@ func run(args []string, ready chan<- string) error {
 		fsyncMode   = fs.String("fsync", "always", "WAL flush policy: always|interval|never (needs -data-dir)")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "background flush period for -fsync interval")
 		ckptBytes   = fs.Int64("checkpoint-bytes", 64<<20, "WAL size that triggers a background checkpoint (-1 disables; needs -data-dir)")
+		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		slowMS      = fs.Int("slow-query-ms", -1, "log requests at or above this many ms as JSON lines (0 logs every request, -1 disables)")
+		slowLog     = fs.String("slow-query-log", "", "slow-query log file (empty = stderr; needs -slow-query-ms >= 0)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +92,21 @@ func run(args []string, ready chan<- string) error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		AllowPathLoad:  *pathLoad,
+		EnablePprof:    *pprofOn,
+	}
+	if *slowMS >= 0 {
+		cfg.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
+		if *slowLog == "" {
+			cfg.SlowQueryLog = os.Stderr
+		} else {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open slow-query log: %w", err)
+			}
+			defer f.Close()
+			cfg.SlowQueryLog = f
+			log.Printf("slow-query log: %s (threshold %dms)", *slowLog, *slowMS)
+		}
 	}
 
 	// Durable mode: open the store (running crash recovery — newest

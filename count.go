@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"butterfly/internal/baseline"
 	"butterfly/internal/core"
@@ -199,6 +200,14 @@ type CountOptions struct {
 	// nil allocates fresh scratch per run (AlgorithmFamily only). See
 	// NewArena.
 	Arena *Arena
+	// Stage, when non-nil, receives coarse stage timings: "core.order"
+	// for the optional relabeling pass, "core.count" for a family
+	// count, and "core.<algorithm>" (e.g. "core.wedge-hash") for a
+	// baseline count. The hook fires at most twice per call — never
+	// inside the counting loops — so a nil hook is free and an
+	// installed hook costs two clock reads. The serving layer adapts
+	// this to trace spans.
+	Stage func(stage string, d time.Duration)
 }
 
 // Count returns the exact number of butterflies using the
@@ -250,7 +259,13 @@ func (g *Graph) CountWithContext(ctx context.Context, opts CountOptions) (int64,
 	}
 	gg := g.g
 	if ord != graph.OrderNatural {
-		gg, _, _ = gg.Relabel(ord)
+		if opts.Stage != nil {
+			t0 := time.Now()
+			gg, _, _ = gg.Relabel(ord)
+			opts.Stage("core.order", time.Since(t0))
+		} else {
+			gg, _, _ = gg.Relabel(ord)
+		}
 	}
 	threads := opts.Threads
 	if threads < 0 {
@@ -264,22 +279,32 @@ func (g *Graph) CountWithContext(ctx context.Context, opts CountOptions) (int64,
 			BlockSize: opts.BlockSize,
 			Hub:       core.HubPolicy(opts.Hub),
 			Arena:     opts.Arena.internal(),
+			Stage:     opts.Stage,
 		})
 	case AlgorithmWedgeHash, AlgorithmVertexPriority, AlgorithmSortAggregate, AlgorithmSpGEMM:
 		if opts.Invariant != InvariantAuto {
 			return 0, fmt.Errorf("butterfly: Invariant is only meaningful with AlgorithmFamily, got %v with %v", opts.Invariant, opts.Algorithm)
 		}
 		run := func() int64 {
+			var t0 time.Time
+			if opts.Stage != nil {
+				t0 = time.Now()
+			}
+			var c int64
 			switch opts.Algorithm {
 			case AlgorithmWedgeHash:
-				return baseline.CountWedgeHash(gg)
+				c = baseline.CountWedgeHash(gg)
 			case AlgorithmVertexPriority:
-				return baseline.CountVertexPriorityParallel(gg, threads)
+				c = baseline.CountVertexPriorityParallel(gg, threads)
 			case AlgorithmSortAggregate:
-				return baseline.CountSortAggregate(gg, threads)
+				c = baseline.CountSortAggregate(gg, threads)
 			default:
-				return core.CountSpGEMMParallel(gg, threads)
+				c = core.CountSpGEMMParallel(gg, threads)
 			}
+			if opts.Stage != nil {
+				opts.Stage("core."+opts.Algorithm.String(), time.Since(t0))
+			}
+			return c
 		}
 		if ctx.Done() == nil {
 			return run(), nil

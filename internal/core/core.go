@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"butterfly/internal/graph"
 )
@@ -160,6 +161,15 @@ type Options struct {
 	// CountContext; not exported because a bare partial count is a
 	// footgun without the error return that CountContext pairs it with.
 	stop *atomic.Bool
+
+	// Stage, when non-nil, receives coarse stage timings: "core.order"
+	// for the optional relabeling pass and "core.count" for the count
+	// itself. The hook fires once or twice per count — never inside the
+	// wedge loops — so a nil hook costs one predictable branch and an
+	// installed hook costs two time.Now calls, keeping disabled tracing
+	// invisible on the count benchmarks. The serving layer adapts this
+	// to trace spans; core deliberately does not import the tracer.
+	Stage func(stage string, d time.Duration)
 }
 
 // AutoInvariant picks the family member the paper's Section V
@@ -193,22 +203,37 @@ func CountWith(g *graph.Bipartite, opts Options) int64 {
 		panic("core: invalid invariant " + inv.String())
 	}
 	if opts.Order != graph.OrderNatural {
-		g, _, _ = g.Relabel(opts.Order)
+		if opts.Stage != nil {
+			t0 := time.Now()
+			g, _, _ = g.Relabel(opts.Order)
+			opts.Stage("core.order", time.Since(t0))
+		} else {
+			g, _, _ = g.Relabel(opts.Order)
+		}
 	}
 	threads := opts.Threads
 	if threads < 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
+	var t0 time.Time
+	if opts.Stage != nil {
+		t0 = time.Now()
+	}
+	var c int64
 	switch {
 	case threads > 1:
-		return countParallel(g, inv, threads, opts.Hub, opts.Arena, opts.stop)
+		c = countParallel(g, inv, threads, opts.Hub, opts.Arena, opts.stop)
 	case opts.BlockSize > 1:
-		return countBlocked(g, inv, opts.BlockSize, opts.stop)
+		c = countBlocked(g, inv, opts.BlockSize, opts.stop)
 	case opts.Hub == HubNever && opts.Arena == nil && opts.stop == nil:
-		return countSeq(g, inv)
+		c = countSeq(g, inv)
 	default:
-		return countSeqHub(g, inv, opts.Hub, opts.Arena, opts.stop)
+		c = countSeqHub(g, inv, opts.Hub, opts.Arena, opts.stop)
 	}
+	if opts.Stage != nil {
+		opts.Stage("core.count", time.Since(t0))
+	}
+	return c
 }
 
 // stopped reports whether the stop flag has been raised. The nil check

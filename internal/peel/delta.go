@@ -34,6 +34,12 @@ const bucketWidth = 64
 // TipDecomposition / TipDecompositionRounds with the incremental
 // engine and reports the number of peeled batches (sub-rounds).
 func TipDecompositionDelta(g *graph.Bipartite, side core.Side, threads int) ([]int64, int) {
+	return tipDecompositionDelta(g, side, threads, nil)
+}
+
+// tipDecompositionDelta is TipDecompositionDelta with an optional
+// stage hook receiving "peel.seed" and per-batch "peel.round[i]".
+func tipDecompositionDelta(g *graph.Bipartite, side core.Side, threads int, stage stageFunc) ([]int64, int) {
 	n := g.NumV1()
 	if side == core.SideV2 {
 		n = g.NumV2()
@@ -44,7 +50,9 @@ func TipDecompositionDelta(g *graph.Bipartite, side core.Side, threads int) ([]i
 	}
 	arena := core.NewArena()
 	s := make([]int64, n)
+	t0 := stageNow(stage)
 	core.VertexButterfliesMaskedInto(s, g, side, nil, threads, arena)
+	emitStage(stage, "peel.seed", t0)
 
 	alive := make([]bool, n)
 	for i := range alive {
@@ -60,6 +68,7 @@ func TipDecompositionDelta(g *graph.Bipartite, side core.Side, threads int) ([]i
 		rounds  int
 	)
 	for {
+		rt := stageNow(stage)
 		var lvl int64
 		var ok bool
 		batch, lvl, ok = q.nextBatch(batch[:0], alive)
@@ -84,6 +93,7 @@ func TipDecompositionDelta(g *graph.Bipartite, side core.Side, threads int) ([]i
 			}
 			q.update(int64(w))
 		}
+		emitRound(stage, rounds-1, rt)
 	}
 	return tip, rounds
 }
@@ -94,6 +104,11 @@ func TipDecompositionDelta(g *graph.Bipartite, side core.Side, threads int) ([]i
 // until no survivor drops below the threshold. Returns the subgraph
 // (identical to KTipSubgraph) and the number of cascade rounds.
 func KTipDelta(g *graph.Bipartite, k int64, side core.Side, threads int) (*graph.Bipartite, int) {
+	return kTipDelta(g, k, side, threads, nil)
+}
+
+// kTipDelta is KTipDelta with an optional stage hook.
+func kTipDelta(g *graph.Bipartite, k int64, side core.Side, threads int, stage stageFunc) (*graph.Bipartite, int) {
 	n := g.NumV1()
 	if side == core.SideV2 {
 		n = g.NumV2()
@@ -107,7 +122,9 @@ func KTipDelta(g *graph.Bipartite, k int64, side core.Side, threads int) (*graph
 	}
 	arena := core.NewArena()
 	s := make([]int64, n)
+	t0 := stageNow(stage)
 	core.VertexButterfliesMaskedInto(s, g, side, nil, threads, arena)
+	emitStage(stage, "peel.seed", t0)
 
 	dirty := make([]int32, n)
 	var (
@@ -123,6 +140,7 @@ func KTipDelta(g *graph.Bipartite, k int64, side core.Side, threads int) (*graph
 		}
 	}
 	for len(cur) > 0 {
+		rt := stageNow(stage)
 		rounds++
 		touched = touched[:0]
 		core.TipDeltaBatch(g, side, cur, alive, s, dirty, &touched, threads, arena)
@@ -135,6 +153,7 @@ func KTipDelta(g *graph.Bipartite, k int64, side core.Side, threads int) (*graph
 			}
 		}
 		cur, next = next, cur
+		emitRound(stage, rounds-1, rt)
 	}
 	return maskSide(g, side, alive), rounds
 }
@@ -146,6 +165,12 @@ func KTipDelta(g *graph.Bipartite, k int64, side core.Side, threads int) (*graph
 // are swap-deleted from the compacted core.WingPeelState, so each
 // batch's sweep touches only the surviving adjacency.
 func WingDecompositionDelta(g *graph.Bipartite, threads int) ([]int64, int) {
+	return wingDecompositionDelta(g, threads, nil)
+}
+
+// wingDecompositionDelta is WingDecompositionDelta with an optional
+// stage hook.
+func wingDecompositionDelta(g *graph.Bipartite, threads int, stage stageFunc) ([]int64, int) {
 	adj := g.Adj()
 	nnz := int(adj.NNZ())
 	wing := make([]int64, nnz)
@@ -154,7 +179,9 @@ func WingDecompositionDelta(g *graph.Bipartite, threads int) ([]int64, int) {
 	}
 	arena := core.NewArena()
 	sup := make([]int64, nnz)
+	t0 := stageNow(stage)
 	core.EdgeSupportParallelInto(sup, g, threads, arena)
+	emitStage(stage, "peel.seed", t0)
 	state := core.NewWingPeelState(g)
 
 	alive := make([]bool, nnz)
@@ -171,6 +198,7 @@ func WingDecompositionDelta(g *graph.Bipartite, threads int) ([]int64, int) {
 		rounds  int
 	)
 	for {
+		rt := stageNow(stage)
 		var lvl int64
 		var ok bool
 		batch, lvl, ok = q.nextBatch(batch[:0], alive)
@@ -198,6 +226,7 @@ func WingDecompositionDelta(g *graph.Bipartite, threads int) ([]int64, int) {
 			}
 			q.update(f)
 		}
+		emitRound(stage, rounds-1, rt)
 	}
 	return wing, rounds
 }
@@ -208,6 +237,11 @@ func WingDecompositionDelta(g *graph.Bipartite, threads int) ([]int64, int) {
 // graph every round). Identical to KWingSubgraph; returns the cascade
 // round count.
 func KWingDelta(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, int) {
+	return kWingDelta(g, k, threads, nil)
+}
+
+// kWingDelta is KWingDelta with an optional stage hook.
+func kWingDelta(g *graph.Bipartite, k int64, threads int, stage stageFunc) (*graph.Bipartite, int) {
 	adj := g.Adj()
 	nnz := int(adj.NNZ())
 	if nnz == 0 || k <= 0 {
@@ -215,7 +249,9 @@ func KWingDelta(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, int
 	}
 	arena := core.NewArena()
 	sup := make([]int64, nnz)
+	t0 := stageNow(stage)
 	core.EdgeSupportParallelInto(sup, g, threads, arena)
+	emitStage(stage, "peel.seed", t0)
 	state := core.NewWingPeelState(g)
 
 	alive := make([]bool, nnz)
@@ -238,6 +274,7 @@ func KWingDelta(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, int
 		}
 	}
 	for len(cur) > 0 {
+		rt := stageNow(stage)
 		rounds++
 		touched = touched[:0]
 		core.WingStateDeltaBatch(state, cur, alive, inBatch, sup, dirty, &touched, threads, arena)
@@ -255,6 +292,7 @@ func KWingDelta(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, int
 			}
 		}
 		cur, next = next, cur
+		emitRound(stage, rounds-1, rt)
 	}
 	return graphFromAliveEdges(g, alive), rounds
 }

@@ -14,7 +14,9 @@ package peel
 //     levels and enormous delta fan-out.
 
 import (
+	"fmt"
 	"runtime"
+	"time"
 
 	"butterfly/internal/core"
 	"butterfly/internal/graph"
@@ -44,6 +46,41 @@ type Options struct {
 	Engine Engine
 	// Threads is the worker count; ≤ 0 means one per CPU.
 	Threads int
+	// Stage, when non-nil, receives named sub-stage timings:
+	// "peel.seed" for the initial butterfly/support sweep and
+	// "peel.round[i]" for every peeled batch (delta) or recompute
+	// round (recount). The hook fires once per round, never inside the
+	// wedge kernels, so a nil hook costs one predictable branch per
+	// round and an installed hook two time.Now calls per round —
+	// invisible next to the round's own work.
+	Stage func(name string, d time.Duration)
+}
+
+// stageFunc is the per-run stage timing hook type shared by the
+// engines. nil disables all emission.
+type stageFunc = func(name string, d time.Duration)
+
+// stageNow returns the round start time, or the zero time when timing
+// is disabled.
+func stageNow(stage stageFunc) time.Time {
+	if stage == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// emitStage reports one named stage to a non-nil hook.
+func emitStage(stage stageFunc, name string, t0 time.Time) {
+	if stage != nil {
+		stage(name, time.Since(t0))
+	}
+}
+
+// emitRound reports peeling round i (zero-based) to a non-nil hook.
+func emitRound(stage stageFunc, i int, t0 time.Time) {
+	if stage != nil {
+		stage(fmt.Sprintf("peel.round[%d]", i), time.Since(t0))
+	}
 }
 
 // Stats reports how a peeling run executed.
@@ -64,39 +101,39 @@ func (o Options) threads() int {
 // TipNumbersWith runs the tip decomposition on the selected engine.
 func TipNumbersWith(g *graph.Bipartite, side core.Side, o Options) ([]int64, Stats) {
 	if o.Engine == EngineRecount {
-		tip, rounds := tipDecompositionRecount(g, side, o.threads())
+		tip, rounds := tipDecompositionRecount(g, side, o.threads(), o.Stage)
 		return tip, Stats{Rounds: rounds}
 	}
-	tip, rounds := TipDecompositionDelta(g, side, o.threads())
+	tip, rounds := tipDecompositionDelta(g, side, o.threads(), o.Stage)
 	return tip, Stats{Rounds: rounds}
 }
 
 // WingNumbersWith runs the wing decomposition on the selected engine.
 func WingNumbersWith(g *graph.Bipartite, o Options) ([]int64, Stats) {
 	if o.Engine == EngineRecount {
-		wing, rounds := wingDecompositionRecount(g, o.threads())
+		wing, rounds := wingDecompositionRecount(g, o.threads(), o.Stage)
 		return wing, Stats{Rounds: rounds}
 	}
-	wing, rounds := WingDecompositionDelta(g, o.threads())
+	wing, rounds := wingDecompositionDelta(g, o.threads(), o.Stage)
 	return wing, Stats{Rounds: rounds}
 }
 
 // KTipWith extracts the k-tip subgraph on the selected engine.
 func KTipWith(g *graph.Bipartite, k int64, side core.Side, o Options) (*graph.Bipartite, Stats) {
 	if o.Engine == EngineRecount {
-		sub, rounds := kTipRecount(g, k, side, o.threads())
+		sub, rounds := kTipRecount(g, k, side, o.threads(), o.Stage)
 		return sub, Stats{Rounds: rounds}
 	}
-	sub, rounds := KTipDelta(g, k, side, o.threads())
+	sub, rounds := kTipDelta(g, k, side, o.threads(), o.Stage)
 	return sub, Stats{Rounds: rounds}
 }
 
 // KWingWith extracts the k-wing subgraph on the selected engine.
 func KWingWith(g *graph.Bipartite, k int64, o Options) (*graph.Bipartite, Stats) {
 	if o.Engine == EngineRecount {
-		sub, rounds := kWingRecount(g, k, o.threads())
+		sub, rounds := kWingRecount(g, k, o.threads(), o.Stage)
 		return sub, Stats{Rounds: rounds}
 	}
-	sub, rounds := KWingDelta(g, k, o.threads())
+	sub, rounds := kWingDelta(g, k, o.threads(), o.Stage)
 	return sub, Stats{Rounds: rounds}
 }

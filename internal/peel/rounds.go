@@ -26,13 +26,14 @@ import (
 // as the differential-testing oracle for the incremental delta engine
 // (TipDecompositionDelta), which does asymptotically less work.
 func TipDecompositionRounds(g *graph.Bipartite, side core.Side, threads int) []int64 {
-	tip, _ := tipDecompositionRecount(g, side, threads)
+	tip, _ := tipDecompositionRecount(g, side, threads, nil)
 	return tip
 }
 
 // tipDecompositionRecount is TipDecompositionRounds reporting the
-// number of peeling rounds.
-func tipDecompositionRecount(g *graph.Bipartite, side core.Side, threads int) ([]int64, int) {
+// number of peeling rounds, with an optional stage hook receiving
+// per-round "peel.round[i]" timings.
+func tipDecompositionRecount(g *graph.Bipartite, side core.Side, threads int, stage stageFunc) ([]int64, int) {
 	n := g.NumV1()
 	if side == core.SideV2 {
 		n = g.NumV2()
@@ -50,6 +51,7 @@ func tipDecompositionRecount(g *graph.Bipartite, side core.Side, threads int) ([
 	arena := core.NewArena()
 	s := make([]int64, n)
 	for remaining > 0 {
+		rt := stageNow(stage)
 		rounds++
 		core.VertexButterfliesMaskedInto(s, g, side, active, threads, arena)
 		// Find the minimum count among active vertices.
@@ -70,6 +72,7 @@ func tipDecompositionRecount(g *graph.Bipartite, side core.Side, threads int) ([
 				remaining--
 			}
 		}
+		emitRound(stage, rounds-1, rt)
 	}
 	return tip, rounds
 }
@@ -79,12 +82,13 @@ func tipDecompositionRecount(g *graph.Bipartite, side core.Side, threads int) ([
 // Like TipDecompositionRounds this is the recount engine, kept as the
 // oracle for KTipDelta.
 func KTipParallel(g *graph.Bipartite, k int64, side core.Side, threads int) *graph.Bipartite {
-	sub, _ := kTipRecount(g, k, side, threads)
+	sub, _ := kTipRecount(g, k, side, threads, nil)
 	return sub
 }
 
-// kTipRecount is KTipParallel reporting the number of fixpoint rounds.
-func kTipRecount(g *graph.Bipartite, k int64, side core.Side, threads int) (*graph.Bipartite, int) {
+// kTipRecount is KTipParallel reporting the number of fixpoint rounds,
+// with an optional stage hook.
+func kTipRecount(g *graph.Bipartite, k int64, side core.Side, threads int, stage stageFunc) (*graph.Bipartite, int) {
 	n := g.NumV1()
 	if side == core.SideV2 {
 		n = g.NumV2()
@@ -97,6 +101,7 @@ func kTipRecount(g *graph.Bipartite, k int64, side core.Side, threads int) (*gra
 	s := make([]int64, n)
 	rounds := 0
 	for {
+		rt := stageNow(stage)
 		rounds++
 		core.VertexButterfliesMaskedInto(s, g, side, active, threads, arena)
 		changed := false
@@ -106,6 +111,7 @@ func kTipRecount(g *graph.Bipartite, k int64, side core.Side, threads int) (*gra
 				changed = true
 			}
 		}
+		emitRound(stage, rounds-1, rt)
 		if !changed {
 			break
 		}

@@ -12,24 +12,26 @@ import (
 // support sweep reuses the previous round's scratch. This is the
 // recount engine, kept as the oracle for KWingDelta.
 func KWingParallel(g *graph.Bipartite, k int64, threads int) *graph.Bipartite {
-	sub, _ := kWingRecount(g, k, threads)
+	sub, _ := kWingRecount(g, k, threads, nil)
 	return sub
 }
 
 // kWingRecount is KWingParallel reporting the number of fixpoint
-// rounds.
-func kWingRecount(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, int) {
+// rounds, with an optional stage hook.
+func kWingRecount(g *graph.Bipartite, k int64, threads int, stage stageFunc) (*graph.Bipartite, int) {
 	arena := core.NewArena()
 	valsBuf := make([]int64, g.NumEdges())
 	cur := g
 	rounds := 0
 	for {
+		rt := stageNow(stage)
 		rounds++
 		sw := core.EdgeSupportParallelInto(valsBuf, cur, threads, arena)
 		kept := sparse.PatternOf(sparse.Select(sw, func(_ int, _ int32, v int64) bool {
 			return v >= k
 		}))
 		if kept.NNZ() == cur.NumEdges() {
+			emitRound(stage, rounds-1, rt)
 			return cur, rounds
 		}
 		next, err := graph.FromCSR(kept)
@@ -37,6 +39,7 @@ func kWingRecount(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, i
 			panic("peel: internal error rebuilding k-wing graph: " + err.Error())
 		}
 		cur = next
+		emitRound(stage, rounds-1, rt)
 	}
 }
 
@@ -55,13 +58,13 @@ func kWingRecount(g *graph.Bipartite, k int64, threads int) (*graph.Bipartite, i
 // subgraph and recomputes all supports — kept as the oracle for the
 // incremental WingDecompositionDelta.
 func WingDecompositionRounds(g *graph.Bipartite, threads int) []int64 {
-	wing, _ := wingDecompositionRecount(g, threads)
+	wing, _ := wingDecompositionRecount(g, threads, nil)
 	return wing
 }
 
 // wingDecompositionRecount is WingDecompositionRounds reporting the
-// number of peeling rounds.
-func wingDecompositionRecount(g *graph.Bipartite, threads int) ([]int64, int) {
+// number of peeling rounds, with an optional stage hook.
+func wingDecompositionRecount(g *graph.Bipartite, threads int, stage stageFunc) ([]int64, int) {
 	orig := g.Adj()
 	wing := make([]int64, orig.NNZ())
 
@@ -78,6 +81,7 @@ func wingDecompositionRecount(g *graph.Bipartite, threads int) ([]int64, int) {
 	var level int64
 	rounds := 0
 	for cur.NumEdges() > 0 {
+		rt := stageNow(stage)
 		rounds++
 		sup := core.EdgeSupportParallelInto(valsBuf, cur, threads, arena)
 		min := int64(-1)
@@ -117,6 +121,7 @@ func wingDecompositionRecount(g *graph.Bipartite, threads int) ([]int64, int) {
 		}
 		cur = next
 		ids = nextIDs
+		emitRound(stage, rounds-1, rt)
 	}
 	return wing, rounds
 }

@@ -108,7 +108,11 @@ func TestSnapshotIsolation(t *testing.T) {
 // out data races between snapshot publication, the result cache and
 // the admission path.
 func TestConcurrentQueriesAndMutations(t *testing.T) {
-	_, c := newTestServer(t, Config{})
+	// Pin admission capacity above the worker count: the default
+	// (GOMAXPROCS in-flight, 4x queued) can shed on single-CPU
+	// machines, and this test asserts correctness under concurrency,
+	// not shedding behavior (TestLoadShedding429 covers that).
+	_, c := newTestServer(t, Config{MaxInFlight: 8, MaxQueue: 32})
 	ctx := context.Background()
 
 	const m, n = 24, 24

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"butterfly"
+	"butterfly/internal/obsv"
 	"butterfly/serveapi"
 )
 
@@ -127,12 +128,15 @@ func parsePeelEngine(s string) (butterfly.PeelEngine, error) {
 
 // execCount runs an exact count on the snapshot with true cooperative
 // cancellation (the ctx is threaded into the core counting loops).
-func (s *Server) execCount(ctx context.Context, snap *Snapshot, req *serveapi.CountRequest) (*serveapi.CountResponse, error) {
+// The kernel span, when present, receives the counting core's named
+// sub-stages ("core.order", "core.count", …) as children.
+func (s *Server) execCount(ctx context.Context, snap *Snapshot, req *serveapi.CountRequest, ksp *obsv.Span) (*serveapi.CountResponse, error) {
 	opts, err := countOptions(req)
 	if err != nil {
 		return nil, err
 	}
 	opts.Arena = s.arena
+	opts.Stage = ksp.Hook()
 	c, err := snap.Graph.CountWithContext(ctx, opts)
 	if err != nil {
 		return nil, err
@@ -237,8 +241,9 @@ func (s *Server) execEstimate(ctx context.Context, sl *slot, snap *Snapshot, req
 }
 
 // execPeel runs a k-tip or k-wing peel and summarizes the surviving
-// subgraph.
-func (s *Server) execPeel(ctx context.Context, sl *slot, snap *Snapshot, req *serveapi.PeelRequest) (*serveapi.PeelResponse, error) {
+// subgraph. The kernel span, when present, receives the peeling
+// engine's sub-stages ("peel.seed", "peel.round[i]") as children.
+func (s *Server) execPeel(ctx context.Context, sl *slot, snap *Snapshot, req *serveapi.PeelRequest, ksp *obsv.Span) (*serveapi.PeelResponse, error) {
 	if req.K < 0 {
 		return nil, badReqf("k must be ≥ 0, got %d", req.K)
 	}
@@ -259,7 +264,7 @@ func (s *Server) execPeel(ctx context.Context, sl *slot, snap *Snapshot, req *se
 	if err != nil {
 		return nil, err
 	}
-	opts := butterfly.PeelOptions{Engine: engine, Threads: req.Threads}
+	opts := butterfly.PeelOptions{Engine: engine, Threads: req.Threads, Stage: ksp.Hook()}
 	type peeled struct {
 		sub   *butterfly.Graph
 		stats butterfly.PeelStats

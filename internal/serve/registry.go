@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"butterfly"
 )
@@ -132,12 +133,24 @@ func (e DurabilityError) Unwrap() error { return e.Err }
 // the initial exact count once (seeding the dynamic counter); replace
 // permits overwriting an existing name.
 func (r *Registry) Register(name string, g *butterfly.Graph, replace bool) (*Snapshot, error) {
+	return r.RegisterObserved(name, g, replace, nil)
+}
+
+// RegisterObserved is Register with an optional stage hook: when
+// non-nil, stage receives "count.seed" (the initial exact count that
+// seeds the dynamic counter) and, under a persister, "wal.append" (the
+// durable register record). nil is exactly Register.
+func (r *Registry) RegisterObserved(name string, g *butterfly.Graph, replace bool, stage func(name string, d time.Duration)) (*Snapshot, error) {
 	if name == "" {
 		return nil, fmt.Errorf("empty graph name")
 	}
 	// Seed the authority outside the registry lock — the initial count
 	// is the expensive part and must not block unrelated lookups.
+	t0 := time.Now()
 	dyn := butterfly.NewDynamicCounterFromGraph(g)
+	if stage != nil {
+		stage("count.seed", time.Since(t0))
+	}
 	e := &entry{name: name, m: g.NumV1(), n: g.NumV2(), dyn: dyn}
 	snap := &Snapshot{Name: name, Version: 1, Graph: g, Count: dyn.Count()}
 	e.snap.Store(snap)
@@ -152,7 +165,12 @@ func (r *Registry) Register(name string, g *butterfly.Graph, replace bool) (*Sna
 	// graph. Holding r.mu across log+publish keeps the WAL's record
 	// order identical to publication order.
 	if r.persist != nil {
-		if err := r.persist.LogRegister(name, 1, g, snap.Count); err != nil {
+		w0 := time.Now()
+		err := r.persist.LogRegister(name, 1, g, snap.Count)
+		if stage != nil {
+			stage("wal.append", time.Since(w0))
+		}
+		if err != nil {
 			return nil, DurabilityError{err}
 		}
 	}
@@ -256,6 +274,13 @@ func (r *Registry) Snapshots() []*Snapshot {
 // absent edges are tolerated (counted in neither Inserted nor
 // Deleted).
 func (r *Registry) Mutate(name string, inserts, deletes [][2]int) (MutateResult, error) {
+	return r.MutateObserved(name, inserts, deletes, nil)
+}
+
+// MutateObserved is Mutate with an optional stage hook: when non-nil
+// and the registry is durable, stage receives "wal.append" with the
+// time spent in the write-ahead log. nil is exactly Mutate.
+func (r *Registry) MutateObserved(name string, inserts, deletes [][2]int, stage func(name string, d time.Duration)) (MutateResult, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
 	r.mu.RUnlock()
@@ -317,7 +342,11 @@ func (r *Registry) Mutate(name string, inserts, deletes [][2]int) (MutateResult,
 	// agree, and fail the request — an acked mutation is always in the
 	// WAL, a nacked one is in neither.
 	if r.persist != nil {
+		w0 := time.Now()
 		err := r.persist.LogMutate(name, prev.Version+1, inserts, deletes, e.dyn.Count(), e.dyn.NumEdges())
+		if stage != nil {
+			stage("wal.append", time.Since(w0))
+		}
 		if err != nil {
 			for i := len(applied) - 1; i >= 0; i-- {
 				op := applied[i]

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"butterfly"
+	"butterfly/internal/obsv"
 	"butterfly/internal/store"
 	"butterfly/serveapi"
 )
@@ -54,6 +56,18 @@ type Config struct {
 	// checkpoint. The daemon opens the store (running crash recovery)
 	// and adopts the recovered graphs before serving.
 	Store *store.Store
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose process internals and cost
+	// CPU when scraped, so a deployment opts in (bfserved -pprof).
+	EnablePprof bool
+	// SlowQueryLog, when non-nil, receives one JSON line per request
+	// at or above SlowQueryThreshold, including the request's span
+	// breakdown. nil disables slow-query logging entirely.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the slow-query cutoff; 0 logs every
+	// request (useful with a 0 threshold in smoke tests), negative is
+	// clamped to 0. Only meaningful with SlowQueryLog set.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +102,8 @@ type Server struct {
 	lim     *limiter
 	cache   *resultCache
 	metrics *metrics
+	obs     *obsMetrics
+	slow    *obsv.SlowLog
 	mux     *http.ServeMux
 	// arena pools counting workspaces across requests; the pool is
 	// concurrency-safe and sheds nothing on mismatch, so one shared
@@ -118,6 +134,8 @@ func New(cfg Config) *Server {
 		lim:     newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
 		cache:   newResultCache(cfg.CacheEntries),
 		metrics: newMetrics(),
+		obs:     newObsMetrics(),
+		slow:    obsv.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold),
 		arena:   butterfly.NewArena(),
 		store:   cfg.Store,
 	}
@@ -205,27 +223,49 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// routes registers every endpoint twice: under /v1 (the versioned
+// surface with the uniform error envelope and the ?debug=true trace
+// knob) and at the original unversioned path (a deprecated alias that
+// keeps the legacy error body and answers with a Deprecation header).
+// /metrics and /debug/pprof are infrastructure and stay unversioned.
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	endpoints := []struct {
+		method, path, route string
+		h                   http.HandlerFunc
+	}{
+		{"GET", "/healthz", "healthz", s.handleHealthz},
+		{"GET", "/graphs", "graphs.list", s.handleListGraphs},
+		{"POST", "/graphs", "graphs.register", s.handleRegister},
+		{"GET", "/graphs/{name}", "graphs.info", s.handleGraphInfo},
+		{"DELETE", "/graphs/{name}", "graphs.drop", s.handleDrop},
+		{"POST", "/graphs/{name}/count", "count", s.handleCount},
+		{"POST", "/graphs/{name}/vertex-counts", "vertex-counts", s.handleVertexCounts},
+		{"POST", "/graphs/{name}/edge-supports", "edge-supports", s.handleEdgeSupports},
+		{"POST", "/graphs/{name}/estimate", "estimate", s.handleEstimate},
+		{"POST", "/graphs/{name}/peel", "peel", s.handlePeel},
+		{"POST", "/graphs/{name}/mutate", "mutate", s.handleMutate},
+		{"POST", "/admin/checkpoint", "admin.checkpoint", s.handleCheckpoint},
+	}
+	for _, ep := range endpoints {
+		s.mux.HandleFunc(ep.method+" /v1"+ep.path, s.instrument(ep.route, apiV1, ep.h))
+		s.mux.HandleFunc(ep.method+" "+ep.path, s.instrument(ep.route, apiLegacy, ep.h))
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /graphs", s.instrument("graphs.list", s.handleListGraphs))
-	s.mux.HandleFunc("POST /graphs", s.instrument("graphs.register", s.handleRegister))
-	s.mux.HandleFunc("GET /graphs/{name}", s.instrument("graphs.info", s.handleGraphInfo))
-	s.mux.HandleFunc("DELETE /graphs/{name}", s.instrument("graphs.drop", s.handleDrop))
-	s.mux.HandleFunc("POST /graphs/{name}/count", s.instrument("count", s.handleCount))
-	s.mux.HandleFunc("POST /graphs/{name}/vertex-counts", s.instrument("vertex-counts", s.handleVertexCounts))
-	s.mux.HandleFunc("POST /graphs/{name}/edge-supports", s.instrument("edge-supports", s.handleEdgeSupports))
-	s.mux.HandleFunc("POST /graphs/{name}/estimate", s.instrument("estimate", s.handleEstimate))
-	s.mux.HandleFunc("POST /graphs/{name}/peel", s.instrument("peel", s.handlePeel))
-	s.mux.HandleFunc("POST /graphs/{name}/mutate", s.instrument("mutate", s.handleMutate))
-	s.mux.HandleFunc("POST /admin/checkpoint", s.instrument("admin.checkpoint", s.handleCheckpoint))
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 }
 
-// statusWriter captures the response code for metrics.
+// statusWriter captures the response code and body size for metrics.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -233,14 +273,46 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and the latency
-// histogram.
-func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the per-request trace, the request
+// counter, the latency/size histograms, and the slow-query log.
+func (s *Server) instrument(route string, api apiVer, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		st := &reqState{
+			tr:    obsv.NewTrace("request"),
+			api:   api,
+			route: route,
+			debug: api == apiV1 && debugRequested(r),
+		}
+		r = withState(r, st)
+		if api == apiLegacy {
+			// The unversioned surface is a deprecated alias of /v1.
+			w.Header().Set("Deprecation", "true")
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
-		s.metrics.observe(route, sw.code, time.Since(start))
+		elapsed := time.Since(start)
+		s.metrics.observe(route, sw.code, elapsed)
+		s.obs.observeRequest(st, elapsed, sw.bytes)
+		if s.slow.Should(elapsed) {
+			s.obs.slowQueries.With().Inc()
+			s.slow.Record(slowEntry{
+				TS:        start.UTC().Format(time.RFC3339Nano),
+				Route:     route,
+				API:       api.String(),
+				Method:    r.Method,
+				Path:      r.URL.Path,
+				Status:    sw.code,
+				ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+				Trace:     spanNode(st.tr.Snapshot()),
+			})
+		}
 	}
 }
 
@@ -270,27 +342,67 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeErr maps an error to its HTTP status and emits the JSON error
-// body.
-func writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+// writeOK renders a success body. Under ?debug=true on /v1 the
+// request's span tree is attached first; the "render" span is opened
+// before the snapshot so even thin responses carry it (open spans
+// report their live duration).
+func (s *Server) writeOK(w http.ResponseWriter, r *http.Request, code int, v any) {
+	st := stateOf(r)
+	sp := st.root().Child("render")
+	if st.debug {
+		setTrace(v, spanToAPI(st.tr.Snapshot()))
+	}
+	writeJSON(w, code, v)
+	sp.End()
+}
+
+// errMap resolves an error to its HTTP status, /v1 machine code, and
+// retry hint (nonzero only for load shedding).
+func errMap(err error) (status int, code string, retryMS int64) {
 	var nf ErrNotFound
 	var ex ErrExists
 	var br badRequestError
+	var de DurabilityError
 	switch {
 	case errors.As(err, &br):
-		code = http.StatusBadRequest
+		return http.StatusBadRequest, serveapi.CodeInvalidArgument, 0
 	case errors.As(err, &nf):
-		code = http.StatusNotFound
+		return http.StatusNotFound, serveapi.CodeNotFound, 0
 	case errors.As(err, &ex):
-		code = http.StatusConflict
+		return http.StatusConflict, serveapi.CodeAlreadyExists, 0
 	case errors.Is(err, errShed):
-		code = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		return http.StatusTooManyRequests, serveapi.CodeOverloaded, 1000
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		code = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, serveapi.CodeDeadlineExceeded, 0
+	case errors.As(err, &de):
+		return http.StatusInternalServerError, serveapi.CodeNotDurable, 0
+	default:
+		return http.StatusInternalServerError, serveapi.CodeInternal, 0
 	}
-	writeJSON(w, code, serveapi.Error{Status: code, Message: err.Error()})
+}
+
+// writeError maps an error to its HTTP status and emits the JSON
+// error body: the uniform {error:{code,message,...}} envelope on /v1
+// (with retry_after_ms on 429 and the span tree under ?debug=true),
+// the legacy {status,error} shape on the unversioned alias.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	st := stateOf(r)
+	status, code, retryMS := errMap(err)
+	if retryMS > 0 {
+		w.Header().Set("Retry-After", "1")
+	}
+	sp := st.root().Child("render")
+	if st.api != apiV1 {
+		writeJSON(w, status, serveapi.Error{Status: status, Message: err.Error()})
+		sp.End()
+		return
+	}
+	det := serveapi.ErrorDetail{Code: code, Message: err.Error(), RetryAfterMS: retryMS}
+	if st.debug {
+		det.Trace = spanToAPI(st.tr.Snapshot())
+	}
+	writeJSON(w, status, serveapi.ErrorEnvelope{Error: det})
+	sp.End()
 }
 
 // decodeBody strictly decodes a JSON request body into v. An empty
@@ -311,23 +423,26 @@ func decodeBody(r *http.Request, v any) error {
 // --- infrastructure endpoints ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sp := stateOf(r).root().Child("registry")
 	h := serveapi.Health{
 		Status:   "ok",
 		Graphs:   s.reg.Len(),
 		InFlight: s.lim.inFlight(),
 		Queued:   int(s.lim.queueDepth()),
 	}
+	sp.End()
 	code := http.StatusOK
 	if s.draining.Load() {
 		h.Status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, h)
+	s.writeOK(w, r, code, &h)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, s)
+	s.obs.reg.WriteProm(w)
 }
 
 // --- registry endpoints ---
@@ -345,26 +460,34 @@ func snapInfo(sn *Snapshot) serveapi.GraphInfo {
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	sp := stateOf(r).root().Child("registry")
 	snaps := s.reg.Snapshots()
 	out := serveapi.GraphList{Graphs: make([]serveapi.GraphInfo, 0, len(snaps))}
 	for _, sn := range snaps {
 		out.Graphs = append(out.Graphs, snapInfo(sn))
 	}
-	writeJSON(w, http.StatusOK, out)
+	sp.End()
+	s.writeOK(w, r, http.StatusOK, &out)
 }
 
 func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	sp := stateOf(r).root().Child("registry")
 	sn, err := s.reg.Get(r.PathValue("name"))
+	sp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, snapInfo(sn))
+	info := snapInfo(sn)
+	s.writeOK(w, r, http.StatusOK, &info)
 }
 
 func (s *Server) handleDrop(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Drop(r.PathValue("name")); err != nil {
-		writeErr(w, err)
+	sp := stateOf(r).root().Child("registry")
+	err := s.reg.Drop(r.PathValue("name"))
+	sp.End()
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -418,34 +541,47 @@ func (s *Server) loadRequestGraph(req *serveapi.RegisterRequest) (*butterfly.Gra
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	root := stateOf(r).root()
+	psp := root.Child("parse")
 	var req serveapi.RegisterRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, badReqf("name is required"))
+		psp.End()
+		s.writeError(w, r, badReqf("name is required"))
 		return
 	}
+	psp.End()
 	// Registration computes an initial exact count; bound its
 	// concurrency like any other computation.
-	if err := s.lim.acquire(r.Context()); err != nil {
-		writeErr(w, err)
+	asp := root.Child("admission")
+	err := s.lim.acquire(r.Context())
+	asp.End()
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	defer s.lim.release()
+	lsp := root.Child("load")
 	g, err := s.loadRequestGraph(&req)
+	lsp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	sn, err := s.reg.Register(req.Name, g, req.Replace)
+	rsp := root.Child("registry")
+	sn, err := s.reg.RegisterObserved(req.Name, g, req.Replace, rsp.Hook())
+	rsp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.nudgeCheckpoint()
-	writeJSON(w, http.StatusCreated, snapInfo(sn))
+	info := snapInfo(sn)
+	s.writeOK(w, r, http.StatusCreated, &info)
 }
 
 // handleCheckpoint forces a synchronous checkpoint: snapshot every
@@ -453,16 +589,18 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 // daemon runs without a data dir.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if s.store == nil {
-		writeErr(w, badReqf("durability is not enabled (start bfserved with -data-dir)"))
+		s.writeError(w, r, badReqf("durability is not enabled (start bfserved with -data-dir)"))
 		return
 	}
+	csp := stateOf(r).root().Child("checkpoint")
 	stats, err := s.checkpoint()
+	csp.End()
 	if err != nil {
 		s.metrics.noteCheckpointError()
-		writeErr(w, fmt.Errorf("checkpoint: %w", err))
+		s.writeError(w, r, fmt.Errorf("checkpoint: %w", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, serveapi.CheckpointResponse{
+	s.writeOK(w, r, http.StatusOK, &serveapi.CheckpointResponse{
 		Graphs:         stats.Graphs,
 		WALBytesBefore: stats.WALBytesBefore,
 		WALBytesAfter:  stats.WALBytesAfter,
@@ -471,30 +609,39 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	root := stateOf(r).root()
 	name := r.PathValue("name")
+	psp := root.Child("parse")
 	var req serveapi.MutateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
-	if err := s.lim.acquire(r.Context()); err != nil {
-		writeErr(w, err)
+	psp.End()
+	asp := root.Child("admission")
+	err := s.lim.acquire(r.Context())
+	asp.End()
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	defer s.lim.release()
 	start := time.Now()
-	res, err := s.reg.Mutate(name, req.Inserts, req.Deletes)
+	msp := root.Child("mutate")
+	res, err := s.reg.MutateObserved(name, req.Inserts, req.Deletes, msp.Hook())
+	msp.End()
 	if err != nil {
 		var nf ErrNotFound
 		var de DurabilityError
 		if !errors.As(err, &nf) && !errors.As(err, &de) {
 			err = badReqf("%v", err)
 		}
-		writeErr(w, err) // DurabilityError falls through to 500
+		s.writeError(w, r, err) // DurabilityError falls through to 500
 		return
 	}
 	s.nudgeCheckpoint()
-	writeJSON(w, http.StatusOK, serveapi.MutateResponse{
+	s.writeOK(w, r, http.StatusOK, &serveapi.MutateResponse{
 		Graph:     name,
 		Version:   res.Version,
 		Inserted:  res.Inserted,
@@ -521,44 +668,76 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 //  4. run exec under the deadline (504 on expiry);
 //  5. render, cache, reply. Cache status is reported in the X-Cache
 //     header so bodies stay byte-identical between hit and miss.
-func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS int, key string, exec func(ctx context.Context, sl *slot, snap *Snapshot) (any, error)) {
+//
+// The cache key is prefixed with the API surface (legacy responses and
+// /v1 responses are byte-identical today, but keying them apart means
+// a future divergence cannot serve one surface's bytes to the other),
+// and ?debug=true requests bypass the cache in both directions: a
+// debug response carries its own trace, so it must be neither served
+// from nor stored into the shared cache.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS int, key string, exec func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error)) {
+	st := stateOf(r)
+	root := st.root()
+
+	rsp := root.Child("registry")
 	snap, err := s.reg.Get(r.PathValue("name"))
+	rsp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeError(w, r, err)
 		return
 	}
-	cacheKey := fmt.Sprintf("%s|v%d|%s", snap.Name, snap.Version, key)
-	if body, ok := s.cache.get(cacheKey); ok {
-		w.Header().Set("X-Cache", "hit")
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		_, _ = w.Write(body)
-		return
+	cacheKey := fmt.Sprintf("%s|%s|v%d|%s", st.api, snap.Name, snap.Version, key)
+	if !st.debug {
+		csp := root.Child("cache")
+		body, ok := s.cache.get(cacheKey)
+		csp.End()
+		if ok {
+			wsp := root.Child("render")
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(body)
+			wsp.End()
+			return
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
 	defer cancel()
 
-	if err := s.lim.acquire(ctx); err != nil {
-		writeErr(w, err)
+	asp := root.Child("admission")
+	err = s.lim.acquire(ctx)
+	asp.End()
+	if err != nil {
+		s.writeError(w, r, err)
 		return
 	}
 	sl := &slot{lim: s.lim}
 	defer sl.release()
 
 	start := time.Now()
+	ksp := root.Child("kernel")
 	s.compute(ctx)
-	resp, err := exec(ctx, sl, snap)
+	resp, err := exec(ctx, sl, snap, ksp)
+	ksp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	elapsed := time.Since(start).Milliseconds()
 	setElapsed(resp, elapsed)
 
+	if st.debug {
+		// Debug responses carry their span tree and are never cached.
+		s.writeOK(w, r, http.StatusOK, resp)
+		return
+	}
+
+	wsp := root.Child("render")
 	body, err := json.Marshal(resp)
 	if err != nil {
-		writeErr(w, err)
+		wsp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	body = append(body, '\n')
@@ -567,6 +746,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS in
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(body)
+	wsp.End()
 }
 
 // setElapsed stamps the compute latency on the response types that
@@ -588,91 +768,112 @@ func setElapsed(resp any, ms int64) {
 }
 
 func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
+	psp := stateOf(r).root().Child("parse")
 	var req serveapi.CountRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	if _, err := countOptions(&req); err != nil { // validate before admission
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
-	s.serveQuery(w, r, req.TimeoutMillis, keyCount, func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
-		return s.execCount(ctx, snap, &req)
+	psp.End()
+	s.serveQuery(w, r, req.TimeoutMillis, keyCount, func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+		return s.execCount(ctx, snap, &req, ksp)
 	})
 }
 
 func (s *Server) handleVertexCounts(w http.ResponseWriter, r *http.Request) {
+	psp := stateOf(r).root().Child("parse")
 	var req serveapi.VertexCountsRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	side, err := parseSide(req.Side)
 	if err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	top := req.Top
 	if top == 0 {
 		top = 100
 	}
-	s.serveQuery(w, r, req.TimeoutMillis, keyVertex(side, top), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+	psp.End()
+	s.serveQuery(w, r, req.TimeoutMillis, keyVertex(side, top), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execVertexCounts(ctx, sl, snap, side, top)
 	})
 }
 
 func (s *Server) handleEdgeSupports(w http.ResponseWriter, r *http.Request) {
+	psp := stateOf(r).root().Child("parse")
 	var req serveapi.EdgeSupportsRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	top := req.Top
 	if top == 0 {
 		top = 100
 	}
-	s.serveQuery(w, r, req.TimeoutMillis, fmt.Sprintf("%s|top=%d", keyEdges, top), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+	psp.End()
+	s.serveQuery(w, r, req.TimeoutMillis, fmt.Sprintf("%s|top=%d", keyEdges, top), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execEdgeSupports(ctx, sl, snap, top)
 	})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	psp := stateOf(r).root().Child("parse")
 	var req serveapi.EstimateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
-	s.serveQuery(w, r, req.TimeoutMillis, keyEstimate(&req), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
+	psp.End()
+	s.serveQuery(w, r, req.TimeoutMillis, keyEstimate(&req), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execEstimate(ctx, sl, snap, &req)
 	})
 }
 
 func (s *Server) handlePeel(w http.ResponseWriter, r *http.Request) {
+	psp := stateOf(r).root().Child("parse")
 	var req serveapi.PeelRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	side, err := parseSide(req.Side)
 	if err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
 	if req.Mode != "tip" && req.Mode != "wing" {
-		writeErr(w, badReqf("unknown mode %q (want tip|wing)", req.Mode))
+		psp.End()
+		s.writeError(w, r, badReqf("unknown mode %q (want tip|wing)", req.Mode))
 		return
 	}
 	if req.K < 0 {
-		writeErr(w, badReqf("k must be ≥ 0, got %d", req.K))
+		psp.End()
+		s.writeError(w, r, badReqf("k must be ≥ 0, got %d", req.K))
 		return
 	}
 	engine, err := parsePeelEngine(req.Engine)
 	if err != nil {
-		writeErr(w, err)
+		psp.End()
+		s.writeError(w, r, err)
 		return
 	}
-	s.serveQuery(w, r, req.TimeoutMillis, keyPeel(req.Mode, req.K, side, engine), func(ctx context.Context, sl *slot, snap *Snapshot) (any, error) {
-		return s.execPeel(ctx, sl, snap, &req)
+	psp.End()
+	s.serveQuery(w, r, req.TimeoutMillis, keyPeel(req.Mode, req.K, side, engine), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+		return s.execPeel(ctx, sl, snap, &req, ksp)
 	})
 }

@@ -2,6 +2,7 @@ package butterfly
 
 import (
 	"fmt"
+	"time"
 
 	"butterfly/internal/peel"
 )
@@ -90,6 +91,13 @@ type PeelOptions struct {
 	Engine PeelEngine
 	// Threads is the worker count; ≤ 0 means one per CPU.
 	Threads int
+	// Stage, when non-nil, receives named sub-stage timings:
+	// "peel.seed" for the initial butterfly/support sweep and
+	// "peel.round[i]" for every peeled batch or recompute round. The
+	// hook fires once per round — never inside the wedge kernels — so
+	// a nil hook costs one predictable branch per round. The serving
+	// layer adapts this to trace spans.
+	Stage func(stage string, d time.Duration)
 }
 
 // PeelStats reports how a peeling run executed.
@@ -103,7 +111,7 @@ type PeelStats struct {
 }
 
 func (o PeelOptions) internal() peel.Options {
-	po := peel.Options{Threads: o.Threads}
+	po := peel.Options{Threads: o.Threads, Stage: o.Stage}
 	if o.Engine == PeelRecount {
 		po.Engine = peel.EngineRecount
 	}

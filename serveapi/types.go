@@ -36,18 +36,20 @@ type RegisterRequest struct {
 
 // GraphInfo describes one registered graph at its current version.
 type GraphInfo struct {
-	Name        string  `json:"name"`
-	Version     uint64  `json:"version"`
-	NumV1       int     `json:"v1"`
-	NumV2       int     `json:"v2"`
-	NumEdges    int64   `json:"edges"`
-	Butterflies int64   `json:"butterflies"`
-	Density     float64 `json:"density"`
+	Name        string     `json:"name"`
+	Version     uint64     `json:"version"`
+	NumV1       int        `json:"v1"`
+	NumV2       int        `json:"v2"`
+	NumEdges    int64      `json:"edges"`
+	Butterflies int64      `json:"butterflies"`
+	Density     float64    `json:"density"`
+	Trace       *TraceSpan `json:"trace,omitempty"`
 }
 
 // GraphList is the response of GET /graphs.
 type GraphList struct {
 	Graphs []GraphInfo `json:"graphs"`
+	Trace  *TraceSpan  `json:"trace,omitempty"`
 }
 
 // CountRequest asks for an exact butterfly count. All fields are
@@ -70,12 +72,14 @@ type CountRequest struct {
 }
 
 // CountResponse reports an exact count. Version identifies the graph
-// snapshot the count was computed on.
+// snapshot the count was computed on. Trace is present only when the
+// request asked for ?debug=true on the /v1 surface.
 type CountResponse struct {
-	Graph       string `json:"graph"`
-	Version     uint64 `json:"version"`
-	Butterflies int64  `json:"butterflies"`
-	ElapsedMS   int64  `json:"elapsed_ms"`
+	Graph       string     `json:"graph"`
+	Version     uint64     `json:"version"`
+	Butterflies int64      `json:"butterflies"`
+	ElapsedMS   int64      `json:"elapsed_ms"`
+	Trace       *TraceSpan `json:"trace,omitempty"`
 }
 
 // VertexCountsRequest asks for the per-vertex butterfly counts of one
@@ -103,6 +107,7 @@ type VertexCountsResponse struct {
 	Total     int64         `json:"total"`
 	Vertices  []VertexCount `json:"vertices"`
 	ElapsedMS int64         `json:"elapsed_ms"`
+	Trace     *TraceSpan    `json:"trace,omitempty"`
 }
 
 // EdgeSupportsRequest asks for the Top highest-support edges (default
@@ -127,6 +132,7 @@ type EdgeSupportsResponse struct {
 	Total     int64         `json:"total"`
 	Edges     []EdgeSupport `json:"edges"`
 	ElapsedMS int64         `json:"elapsed_ms"`
+	Trace     *TraceSpan    `json:"trace,omitempty"`
 }
 
 // EstimateRequest asks for an approximate count. Strategy is
@@ -143,10 +149,11 @@ type EstimateRequest struct {
 
 // EstimateResponse reports an estimated count.
 type EstimateResponse struct {
-	Graph     string  `json:"graph"`
-	Version   uint64  `json:"version"`
-	Estimate  float64 `json:"estimate"`
-	ElapsedMS int64   `json:"elapsed_ms"`
+	Graph     string     `json:"graph"`
+	Version   uint64     `json:"version"`
+	Estimate  float64    `json:"estimate"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+	Trace     *TraceSpan `json:"trace,omitempty"`
 }
 
 // PeelRequest runs a k-tip or k-wing peel. Mode is "tip" (Side "v1"
@@ -170,15 +177,16 @@ type PeelRequest struct {
 // batches (delta) or fixpoint rounds (recount) — engine-specific by
 // nature, which is why the result cache keys peels by engine.
 type PeelResponse struct {
-	Graph          string `json:"graph"`
-	Version        uint64 `json:"version"`
-	Mode           string `json:"mode"`
-	K              int64  `json:"k"`
-	Engine         string `json:"engine"`
-	Rounds         int    `json:"rounds"`
-	EdgesRemaining int64  `json:"edges_remaining"`
-	Butterflies    int64  `json:"butterflies"`
-	ElapsedMS      int64  `json:"elapsed_ms"`
+	Graph          string     `json:"graph"`
+	Version        uint64     `json:"version"`
+	Mode           string     `json:"mode"`
+	K              int64      `json:"k"`
+	Engine         string     `json:"engine"`
+	Rounds         int        `json:"rounds"`
+	EdgesRemaining int64      `json:"edges_remaining"`
+	Butterflies    int64      `json:"butterflies"`
+	ElapsedMS      int64      `json:"elapsed_ms"`
+	Trace          *TraceSpan `json:"trace,omitempty"`
 }
 
 // MutateRequest applies a batch of edge mutations to a graph:
@@ -204,9 +212,10 @@ type MutateResponse struct {
 	Created   int64 `json:"created"`
 	Destroyed int64 `json:"destroyed"`
 	// Count and Edges describe the new version.
-	Count     int64 `json:"count"`
-	Edges     int64 `json:"edges"`
-	ElapsedMS int64 `json:"elapsed_ms"`
+	Count     int64      `json:"count"`
+	Edges     int64      `json:"edges"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+	Trace     *TraceSpan `json:"trace,omitempty"`
 }
 
 // CheckpointResponse reports a completed POST /admin/checkpoint: how
@@ -214,22 +223,78 @@ type MutateResponse struct {
 // compacted. Requires the daemon to run with -data-dir (400
 // otherwise).
 type CheckpointResponse struct {
-	Graphs         int   `json:"graphs"`
-	WALBytesBefore int64 `json:"wal_bytes_before"`
-	WALBytesAfter  int64 `json:"wal_bytes_after"`
-	ElapsedMS      int64 `json:"elapsed_ms"`
+	Graphs         int        `json:"graphs"`
+	WALBytesBefore int64      `json:"wal_bytes_before"`
+	WALBytesAfter  int64      `json:"wal_bytes_after"`
+	ElapsedMS      int64      `json:"elapsed_ms"`
+	Trace          *TraceSpan `json:"trace,omitempty"`
 }
 
 // Health is the response of GET /healthz.
 type Health struct {
-	Status   string `json:"status"` // "ok" or "draining"
-	Graphs   int    `json:"graphs"`
-	InFlight int    `json:"in_flight"`
-	Queued   int    `json:"queued"`
+	Status   string     `json:"status"` // "ok" or "draining"
+	Graphs   int        `json:"graphs"`
+	InFlight int        `json:"in_flight"`
+	Queued   int        `json:"queued"`
+	Trace    *TraceSpan `json:"trace,omitempty"`
 }
 
-// Error is the JSON body of every non-2xx response.
+// Error is the JSON body of every non-2xx response on the legacy
+// (unversioned) surface. The /v1 surface replaces it with
+// ErrorEnvelope; the legacy routes keep emitting this shape for
+// compatibility and are deprecated.
 type Error struct {
 	Status  int    `json:"status"`
 	Message string `json:"error"`
+}
+
+// Machine-readable error codes carried by ErrorDetail.Code on the /v1
+// surface. Clients should branch on these, not on message text.
+const (
+	// CodeInvalidArgument is a malformed or out-of-range request (400).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound names an unknown graph (404).
+	CodeNotFound = "not_found"
+	// CodeAlreadyExists is a register collision without replace (409).
+	CodeAlreadyExists = "already_exists"
+	// CodeOverloaded is admission-control shedding (429); RetryAfterMS
+	// tells the client when to retry.
+	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded is a request that ran past its deadline
+	// (504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeNotDurable is a state change the write-ahead log refused to
+	// record; the change was rolled back (500).
+	CodeNotDurable = "not_durable"
+	// CodeInternal is everything else (500).
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the body of the /v1 error envelope: a machine code
+// from the Code* constants, a human-readable message, an optional
+// retry hint (only with CodeOverloaded), and — when the request asked
+// for ?debug=true — the request's span tree.
+type ErrorDetail struct {
+	Code         string     `json:"code"`
+	Message      string     `json:"message"`
+	RetryAfterMS int64      `json:"retry_after_ms,omitempty"`
+	Trace        *TraceSpan `json:"trace,omitempty"`
+}
+
+// ErrorEnvelope is the uniform JSON body of every non-2xx response on
+// the /v1 surface, including 429 and 504.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// TraceSpan is one node of a request's span tree: a named stage with
+// its start offset and duration in microseconds relative to the
+// request start. Dropped counts children discarded past the server's
+// per-span cap.
+type TraceSpan struct {
+	Name     string      `json:"name"`
+	StartUS  int64       `json:"start_us"`
+	DurUS    int64       `json:"dur_us"`
+	Dropped  int         `json:"dropped,omitempty"`
+	Children []TraceSpan `json:"children,omitempty"`
 }

@@ -143,6 +143,45 @@ func TestWireFormat(t *testing.T) {
 			&Error{Status: 404, Message: "graph not found"},
 			`{"status":404,"error":"graph not found"}`,
 		},
+		{
+			// The /v1 envelope: code + message, optionals omitted.
+			"ErrorEnvelope basic",
+			&ErrorEnvelope{Error: ErrorDetail{Code: CodeNotFound, Message: "graph not found"}},
+			`{"error":{"code":"not_found","message":"graph not found"}}`,
+		},
+		{
+			// 429 carries a retry hint.
+			"ErrorEnvelope overloaded",
+			&ErrorEnvelope{Error: ErrorDetail{Code: CodeOverloaded, Message: "server overloaded", RetryAfterMS: 1000}},
+			`{"error":{"code":"overloaded","message":"server overloaded","retry_after_ms":1000}}`,
+		},
+		{
+			// Debug errors carry the span tree.
+			"ErrorEnvelope with trace",
+			&ErrorEnvelope{Error: ErrorDetail{Code: CodeDeadlineExceeded, Message: "deadline exceeded",
+				Trace: &TraceSpan{Name: "request", DurUS: 42,
+					Children: []TraceSpan{{Name: "registry", StartUS: 1, DurUS: 2}}}}},
+			`{"error":{"code":"deadline_exceeded","message":"deadline exceeded",` +
+				`"trace":{"name":"request","start_us":0,"dur_us":42,` +
+				`"children":[{"name":"registry","start_us":1,"dur_us":2}]}}}`,
+		},
+		{
+			"TraceSpan",
+			&TraceSpan{Name: "kernel", StartUS: 10, DurUS: 100, Dropped: 2,
+				Children: []TraceSpan{{Name: "core.count", StartUS: 12, DurUS: 90}}},
+			`{"name":"kernel","start_us":10,"dur_us":100,"dropped":2,` +
+				`"children":[{"name":"core.count","start_us":12,"dur_us":90}]}`,
+		},
+		{
+			// Responses carry the trace only under ?debug=true; the
+			// plain shape stays byte-identical (pinned above), and the
+			// debug shape appends the trace last.
+			"CountResponse with trace",
+			&CountResponse{Graph: "g", Version: 2, Butterflies: 36, ElapsedMS: 5,
+				Trace: &TraceSpan{Name: "request", DurUS: 5000}},
+			`{"graph":"g","version":2,"butterflies":36,"elapsed_ms":5,` +
+				`"trace":{"name":"request","start_us":0,"dur_us":5000}}`,
+		},
 	}
 
 	for _, tc := range cases {
