@@ -647,3 +647,60 @@ func TestNumInvariantsMatchesCore(t *testing.T) {
 		t.Fatalf("NumInvariants = %d, want %d", NumInvariants, int(Invariant8))
 	}
 }
+
+func TestCountWithAggModes(t *testing.T) {
+	g := randGraph(t, 4, 100, 80, 0.1)
+	want := g.Count()
+	for _, agg := range []AggPolicy{AggAuto, AggSort, AggHash, AggHist, AggBatch} {
+		got, err := g.CountWith(CountOptions{Agg: agg})
+		if err != nil || got != want {
+			t.Fatalf("agg=%v sequential: %d, %v (want %d)", agg, got, err, want)
+		}
+		got, err = g.CountWith(CountOptions{Agg: agg, Threads: 3, Hub: HubNever})
+		if err != nil || got != want {
+			t.Fatalf("agg=%v parallel: %d, %v (want %d)", agg, got, err, want)
+		}
+	}
+	resolved := g.ResolvedAgg(CountOptions{})
+	if resolved == AggAuto || !resolved.Valid() {
+		t.Fatalf("ResolvedAgg returned %v", resolved)
+	}
+	if got := g.ResolvedAgg(CountOptions{Agg: AggSort}); got != AggSort {
+		t.Fatalf("explicit mode resolved to %v", got)
+	}
+}
+
+func TestAggPolicyStringsAndParse(t *testing.T) {
+	want := map[AggPolicy]string{
+		AggAuto: "auto", AggSort: "sort", AggHash: "hash",
+		AggHist: "hist", AggBatch: "batch",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("String(%v) = %q, want %q", int(p), p.String(), s)
+		}
+		back, err := ParseAggPolicy(s)
+		if err != nil || back != p {
+			t.Errorf("ParseAggPolicy(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParseAggPolicy("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if AggPolicy(9).String() == "" || AggPolicy(9).Valid() {
+		t.Error("out-of-range policy must be invalid with a diagnostic String")
+	}
+}
+
+func TestCountWithAggErrors(t *testing.T) {
+	g := k22(t)
+	if _, err := g.CountWith(CountOptions{Agg: AggPolicy(42)}); err == nil {
+		t.Fatal("invalid agg accepted")
+	}
+	if _, err := g.CountWith(CountOptions{Agg: AggSort, Algorithm: AlgorithmWedgeHash}); err == nil {
+		t.Fatal("agg with non-family algorithm accepted")
+	}
+	if got, err := g.CountWith(CountOptions{Agg: AggAuto, Algorithm: AlgorithmWedgeHash}); err != nil || got != 1 {
+		t.Fatalf("AggAuto must stay compatible with baselines: %d, %v", got, err)
+	}
+}

@@ -153,24 +153,32 @@ func TestRunJSONStdout(t *testing.T) {
 		Schema  string `json:"schema"`
 		Scale   int    `json:"scale"`
 		Results []struct {
-			Dataset   string `json:"dataset"`
-			Algorithm string `json:"algorithm"`
-			Invariant string `json:"invariant"`
-			Threads   int    `json:"threads"`
-			NsPerOp   int64  `json:"ns_per_op"`
-			Count     int64  `json:"count"`
+			Dataset   string  `json:"dataset"`
+			Algorithm string  `json:"algorithm"`
+			Invariant string  `json:"invariant"`
+			Threads   int     `json:"threads"`
+			NsPerOp   int64   `json:"ns_per_op"`
+			Count     int64   `json:"count"`
+			Agg       string  `json:"agg"`
+			AggUsed   string  `json:"agg_used"`
+			MaxDeg    int     `json:"max_deg"`
+			MeanDeg   float64 `json:"mean_deg"`
+			V2Width   int     `json:"v2_width"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v in %q", err, out)
 	}
-	if rep.Schema != "bfbench/v2" || rep.Scale != 400 {
+	if rep.Schema != "bfbench/v3" || rep.Scale != 400 {
 		t.Fatalf("header wrong: %+v", rep)
 	}
 	algos := map[string]bool{}
 	// Peeling checksums must agree across engines and thread counts —
-	// the snapshot doubles as a differential test.
+	// the snapshot doubles as a differential test. Likewise the
+	// family/agg counts across aggregation modes.
 	peelSums := map[string]map[int64]bool{}
+	aggCounts := map[string]map[int64]bool{}
+	aggModes := map[string]map[string]bool{}
 	for _, r := range rep.Results {
 		algos[r.Algorithm] = true
 		if r.NsPerOp < 0 || r.Dataset == "" || r.Invariant == "" || r.Threads < 1 {
@@ -183,9 +191,26 @@ func TestRunJSONStdout(t *testing.T) {
 			}
 			peelSums[key][r.Count] = true
 		}
+		if r.Algorithm == "family/agg" {
+			if r.AggUsed == "" || r.AggUsed == "auto" {
+				t.Fatalf("family/agg row must name a concrete mode: %+v", r)
+			}
+			if r.Agg != "auto" && r.AggUsed != r.Agg {
+				t.Fatalf("explicit mode not honored: %+v", r)
+			}
+			if r.MaxDeg <= 0 || r.MeanDeg <= 0 || r.V2Width <= 0 {
+				t.Fatalf("family/agg row missing degree profile: %+v", r)
+			}
+			if aggCounts[r.Dataset] == nil {
+				aggCounts[r.Dataset] = map[int64]bool{}
+				aggModes[r.Dataset] = map[string]bool{}
+			}
+			aggCounts[r.Dataset][r.Count] = true
+			aggModes[r.Dataset][r.Agg] = true
+		}
 	}
 	for _, want := range []string{
-		"family/seq", "family/arena", "family/parallel",
+		"family/seq", "family/arena", "family/parallel", "family/agg",
 		"peel-tip/delta", "peel-tip/recount", "peel-wing/delta", "peel-wing/recount",
 	} {
 		if !algos[want] {
@@ -195,6 +220,16 @@ func TestRunJSONStdout(t *testing.T) {
 	for key, sums := range peelSums {
 		if len(sums) != 1 {
 			t.Fatalf("peel checksum disagreement for %s: %v", key, sums)
+		}
+	}
+	for ds, counts := range aggCounts {
+		if len(counts) != 1 {
+			t.Fatalf("aggregation modes disagree on %s: %v", ds, counts)
+		}
+		for _, mode := range []string{"auto", "sort", "hash", "hist", "batch"} {
+			if !aggModes[ds][mode] {
+				t.Fatalf("dataset %s missing family/agg row for mode %q", ds, mode)
+			}
 		}
 	}
 	// Plain -json must not print the text tables.

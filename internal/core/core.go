@@ -150,6 +150,13 @@ type Options struct {
 	// the sparse path, HubAlways forces the bitset path. Every policy
 	// returns the exact count.
 	Hub HubPolicy
+	// Agg selects the wedge-aggregation kernel: AggAuto (the zero
+	// value) picks per graph from the degree profile; AggSort, AggHash,
+	// AggHist and AggBatch force one mode. Every mode returns the exact
+	// count. The blocked variant (Threads ≤ 1, BlockSize > 1) is
+	// inherently histogram-based and ignores this knob; ResolveAgg
+	// reports the mode that actually runs. See agg.go.
+	Agg AggPolicy
 	// Arena optionally supplies a workspace pool reused across counts;
 	// nil allocates fresh scratch per run. See NewArena.
 	Arena *Arena
@@ -163,12 +170,18 @@ type Options struct {
 	stop *atomic.Bool
 
 	// Stage, when non-nil, receives coarse stage timings: "core.order"
-	// for the optional relabeling pass and "core.count" for the count
-	// itself. The hook fires once or twice per count — never inside the
-	// wedge loops — so a nil hook costs one predictable branch and an
-	// installed hook costs two time.Now calls, keeping disabled tracing
-	// invisible on the count benchmarks. The serving layer adapts this
-	// to trace spans; core deliberately does not import the tracer.
+	// for the optional relabeling pass, "core.relayout" for the
+	// automatic degree-ordered relayout (first count on a graph only —
+	// the twin is cached afterwards), "core.count" for the count
+	// itself, and "core.agg.<mode>" re-attributing the same count
+	// duration to the resolved aggregation mode (an attribution label,
+	// not an extra phase — its duration equals core.count's). The hook
+	// fires a handful of times per count — never inside the wedge
+	// loops — so a nil hook costs one predictable branch and an
+	// installed hook costs a few time.Now calls, keeping disabled
+	// tracing invisible on the count benchmarks. The serving layer
+	// adapts this to trace spans; core deliberately does not import the
+	// tracer.
 	Stage func(stage string, d time.Duration)
 }
 
@@ -202,6 +215,7 @@ func CountWith(g *graph.Bipartite, opts Options) int64 {
 	if inv < Inv1 || inv > Inv8 {
 		panic("core: invalid invariant " + inv.String())
 	}
+	agg := ResolveAgg(g, opts)
 	if opts.Order != graph.OrderNatural {
 		if opts.Stage != nil {
 			t0 := time.Now()
@@ -209,6 +223,20 @@ func CountWith(g *graph.Bipartite, opts Options) int64 {
 			opts.Stage("core.order", time.Since(t0))
 		} else {
 			g, _, _ = g.Relabel(opts.Order)
+		}
+	} else if shouldRelayout(g.Profile()) {
+		// Count on the cached degree-ordered twin: the scalar count is
+		// invariant under relabeling, so the relayout never leaks into
+		// results — it only concentrates the kernels' memory traffic
+		// (see graph.DegreeOrdered). Explicit Order requests above take
+		// precedence; per-vertex and per-edge kernels do their own
+		// orientation and never come through here.
+		if opts.Stage != nil {
+			t0 := time.Now()
+			g, _, _ = g.DegreeOrdered()
+			opts.Stage("core.relayout", time.Since(t0))
+		} else {
+			g, _, _ = g.DegreeOrdered()
 		}
 	}
 	threads := opts.Threads
@@ -222,16 +250,18 @@ func CountWith(g *graph.Bipartite, opts Options) int64 {
 	var c int64
 	switch {
 	case threads > 1:
-		c = countParallel(g, inv, threads, opts.Hub, opts.Arena, opts.stop)
+		c = countParallel(g, inv, threads, opts.Hub, agg, opts.Arena, opts.stop)
 	case opts.BlockSize > 1:
 		c = countBlocked(g, inv, opts.BlockSize, opts.stop)
-	case opts.Hub == HubNever && opts.Arena == nil && opts.stop == nil:
+	case opts.Hub == HubNever && opts.Arena == nil && opts.stop == nil && agg == AggHist:
 		c = countSeq(g, inv)
 	default:
-		c = countSeqHub(g, inv, opts.Hub, opts.Arena, opts.stop)
+		c = countSeqHub(g, inv, opts.Hub, agg, opts.Arena, opts.stop)
 	}
 	if opts.Stage != nil {
-		opts.Stage("core.count", time.Since(t0))
+		d := time.Since(t0)
+		opts.Stage("core.count", d)
+		opts.Stage("core.agg."+agg.Mode(), d)
 	}
 	return c
 }

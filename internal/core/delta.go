@@ -228,6 +228,8 @@ func WingDeltaBatch(g *graph.Bipartite, batch []int64, alive, inBatch []bool, tm
 
 // wingHubDeg is the minimum exposed degree at which the hub
 // (position-map) path pays for its build+clear cost under HubAuto.
+// Below it the per-partner merge's deg(u) term is too small for the
+// map's 2·deg(u) build to amortize across realistic partner counts.
 const wingHubDeg = 16
 
 // wingDeltaEdge enumerates the butterflies assigned to dying edge e and
@@ -242,9 +244,20 @@ func wingDeltaEdge(e int64, adj, adjT *sparse.CSR, alive, inBatch []bool, tmap, 
 	tbase := adjT.Ptr[int(v)]
 
 	// Hub path decision: materializing u's neighbor→position map costs
-	// 2·deg(u) and turns every partner intersection from a
-	// deg(u)+deg(w) merge into deg(w) direct lookups, so it wins as
-	// soon as u is dense and has at least a couple of partners.
+	// 2·deg(u) (build + clear) and turns every partner intersection
+	// from a deg(u)+deg(w) merge into deg(w) direct lookups — saving
+	// ~deg(u) per partner, so it pays once u is dense (≥ wingHubDeg)
+	// and there are enough partners (≥ 3) to amortize the build.
+	//
+	// The model deliberately reads only degrees — deg(u) via len(ru),
+	// the partner count via len(vrow) — never vertex ids. Peeling runs
+	// on the graph's public (original) vertex order, but the counting
+	// core may have served the peel's initial supports from the
+	// degree-ordered relayout twin, where hubs occupy the low ids; an
+	// id-based density proxy (e.g. "small u is dense") would be wrong
+	// in one order or the other, while degrees are preserved by any
+	// relabeling. TestWingDeltaRelayoutAgreement pins this down by
+	// peeling a relayouted twin and checking delta against recount.
 	usePos := false
 	switch pol {
 	case HubAlways:

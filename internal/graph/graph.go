@@ -23,6 +23,13 @@ import (
 type Bipartite struct {
 	adj  *sparse.CSR // A: V1 → V2, pattern matrix
 	adjT *sparse.CSR // Aᵀ: V2 → V1, pattern matrix
+
+	// Lazily-computed caches (see profile.go): the degree profile the
+	// adaptive execution policies read, and the degree-ordered twin the
+	// counting kernels stream. Both derive deterministically from the
+	// immutable adjacency, so they never invalidate.
+	prof   profCache
+	degOrd degOrdCache
 }
 
 // Edge is an undirected edge between vertex U ∈ V1 and V ∈ V2.

@@ -286,3 +286,56 @@ func TestTipDeltaFewAllocsWarm(t *testing.T) {
 		t.Fatalf("TipDecompositionDelta allocates %v times per run", allocs)
 	}
 }
+
+// TestWingDeltaRelayoutAgreement pins the relayout-awareness of the
+// delta kernels' hub-path cost model (core/delta.go): on the
+// degree-ordered twin that the counting core serves scalar counts from,
+// hubs occupy the *low* vertex ids — the opposite of where a natural-
+// order heuristic would look for them. The decision must read only
+// degrees, so delta peeling has to agree with the recount engine on the
+// relayouted graph exactly as it does on the original.
+func TestWingDeltaRelayoutAgreement(t *testing.T) {
+	orig := gen.PowerLawBipartite(120, 100, 900, 0.7, 0.7, 13)
+	g, _, _ := orig.DegreeOrdered()
+	want := WingDecompositionRounds(g, 2)
+	for _, threads := range []int{1, 4} {
+		got, _ := WingDecompositionDelta(g, threads)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("threads=%d edge %d: delta %d, recount %d", threads, i, got[i], want[i])
+			}
+		}
+	}
+	// The wing numbers must also be a relabeling of the original's: the
+	// multiset of edge wing numbers is invariant under vertex renumbering.
+	a, b := WingDecomposition(orig), WingDecomposition(g)
+	var sa, sb int64
+	for _, x := range a {
+		sa += x
+	}
+	for _, x := range b {
+		sb += x
+	}
+	if len(a) != len(b) || sa != sb {
+		t.Fatalf("wing decomposition changed under relayout: %d edges sum %d vs %d edges sum %d", len(a), sa, len(b), sb)
+	}
+}
+
+// TestTipDeltaRelayoutAgreement is the tip-side companion: delta
+// peeling on the degree-ordered twin agrees with the recount engine for
+// both sides and thread counts.
+func TestTipDeltaRelayoutAgreement(t *testing.T) {
+	orig := gen.PowerLawBipartite(300, 250, 2000, 0.7, 0.7, 3)
+	g, _, _ := orig.DegreeOrdered()
+	for _, side := range []core.Side{core.SideV1, core.SideV2} {
+		want := TipDecompositionRounds(g, side, 2)
+		for _, threads := range []int{1, 4} {
+			got, _ := TipDecompositionDelta(g, side, threads)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("side=%v threads=%d vertex %d: delta %d, recount %d", side, threads, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -434,3 +434,85 @@ func TestLRUCacheEviction(t *testing.T) {
 		t.Fatalf("stats = %d/%d/%d", hits, misses, size)
 	}
 }
+
+// TestCountAggField: family counts report the aggregation mode that
+// actually ran (never "auto"), all modes agree on the count, baseline
+// algorithms omit the field, and bad modes answer 400.
+func TestCountAggField(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	registerK44(t, c)
+
+	for _, agg := range []string{"", "auto", "sort", "hash", "hist", "batch"} {
+		resp, err := c.Count(ctx, "k44", serveapi.CountRequest{Agg: agg})
+		if err != nil {
+			t.Fatalf("agg=%q: %v", agg, err)
+		}
+		if resp.Butterflies != 36 {
+			t.Fatalf("agg=%q: %d butterflies, want 36", agg, resp.Butterflies)
+		}
+		switch agg {
+		case "", "auto":
+			if resp.Agg == "" || resp.Agg == "auto" {
+				t.Fatalf("auto request must report the concrete mode, got %q", resp.Agg)
+			}
+		default:
+			if resp.Agg != agg {
+				t.Fatalf("agg=%q reported %q", agg, resp.Agg)
+			}
+		}
+	}
+
+	resp, err := c.Count(ctx, "k44", serveapi.CountRequest{Algorithm: "wedge-hash"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Agg != "" {
+		t.Fatalf("baseline count must omit agg, got %q", resp.Agg)
+	}
+
+	if _, err := c.Count(ctx, "k44", serveapi.CountRequest{Agg: "bogus"}); err == nil {
+		t.Fatal("bad agg accepted")
+	}
+	if _, err := c.Count(ctx, "k44", serveapi.CountRequest{Agg: "sort", Algorithm: "spgemm"}); err == nil {
+		t.Fatal("agg with baseline algorithm accepted")
+	}
+}
+
+// TestResultCacheAggKeys: requests naming different aggregation modes
+// produce different response bodies (the reported mode), so they must
+// not share a cache entry — while repeats of the same mode still hit.
+func TestResultCacheAggKeys(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	registerK44(t, c)
+
+	post := func(body string) string {
+		resp, err := http.Post(urlOf(t, c)+"/graphs/k44/count", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d for %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get("X-Cache")
+	}
+	if xc := post(`{}`); xc != "miss" {
+		t.Fatalf("first auto count X-Cache = %q, want miss", xc)
+	}
+	// An explicit mode is a different response body: own entry.
+	if xc := post(`{"agg":"sort"}`); xc != "miss" {
+		t.Fatalf("first sort count X-Cache = %q, want miss", xc)
+	}
+	if xc := post(`{"agg":"sort"}`); xc != "hit" {
+		t.Fatalf("second sort count X-Cache = %q, want hit", xc)
+	}
+	// The explicit "auto" spelling shares the default's entry.
+	if xc := post(`{"agg":"auto"}`); xc != "hit" {
+		t.Fatalf("explicit auto X-Cache = %q, want hit", xc)
+	}
+	// Other performance knobs still share the mode's entry.
+	if xc := post(`{"agg":"sort","threads":2,"invariant":5}`); xc != "hit" {
+		t.Fatalf("equivalent sort query X-Cache = %q, want hit", xc)
+	}
+}

@@ -781,7 +781,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	psp.End()
-	s.serveQuery(w, r, req.TimeoutMillis, keyCount, func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+	s.serveQuery(w, r, req.TimeoutMillis, keyCountFor(&req), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execCount(ctx, snap, &req, ksp)
 	})
 }

@@ -86,6 +86,12 @@ func (e PeelEngine) String() string {
 }
 
 // PeelOptions configures an engine-dispatched peeling run.
+// PeelOptions deliberately has no Agg knob (unlike CountOptions): the
+// peeling engines run per-vertex and per-edge masked counters whose
+// outputs are indexed by vertex/edge id, which requires the dense
+// histogram accumulator — the sort/hash/batch wedge-aggregation
+// kernels only apply to scalar whole-graph counts. This is the same
+// reason hub-split segments always aggregate through the histogram.
 type PeelOptions struct {
 	// Engine selects the delta (zero value) or recount execution.
 	Engine PeelEngine

@@ -57,8 +57,10 @@ type GraphList struct {
 // member sequentially. Algorithm is one of "family" (default),
 // "wedge-hash", "vertex-priority", "sort-aggregate", "spgemm";
 // Invariant picks the family member (0 = auto, 1–8); Hub is "auto",
-// "never" or "always"; Order is "natural", "degree-asc" or
-// "degree-desc". Threads ≤ 0 means one worker per CPU.
+// "never" or "always"; Agg is the wedge-aggregation mode "auto"
+// (default), "sort", "hash", "hist" or "batch" (family algorithm
+// only); Order is "natural", "degree-asc" or "degree-desc". Threads
+// ≤ 0 means one worker per CPU.
 type CountRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Invariant int    `json:"invariant,omitempty"`
@@ -66,18 +68,23 @@ type CountRequest struct {
 	BlockSize int    `json:"block,omitempty"`
 	Order     string `json:"order,omitempty"`
 	Hub       string `json:"hub,omitempty"`
+	Agg       string `json:"agg,omitempty"`
 	// TimeoutMillis overrides the server's default per-request
 	// deadline (capped by the server's maximum).
 	TimeoutMillis int `json:"timeout_ms,omitempty"`
 }
 
 // CountResponse reports an exact count. Version identifies the graph
-// snapshot the count was computed on. Trace is present only when the
-// request asked for ?debug=true on the /v1 surface.
+// snapshot the count was computed on. Agg, present for family counts,
+// is the wedge-aggregation mode the count actually ran — the concrete
+// resolution of the request's "auto", never "auto" itself. Trace is
+// present only when the request asked for ?debug=true on the /v1
+// surface.
 type CountResponse struct {
 	Graph       string     `json:"graph"`
 	Version     uint64     `json:"version"`
 	Butterflies int64      `json:"butterflies"`
+	Agg         string     `json:"agg,omitempty"`
 	ElapsedMS   int64      `json:"elapsed_ms"`
 	Trace       *TraceSpan `json:"trace,omitempty"`
 }
