@@ -227,11 +227,99 @@ func (c *Client) EdgeSupports(ctx context.Context, graph string, req serveapi.Ed
 	return resp, err
 }
 
-// Estimate runs a sampling estimator.
+// Estimate runs a sampling estimator on a registered graph, or — for a
+// graph still streaming through ingest — returns the live reservoir
+// estimate (State "loading").
 func (c *Client) Estimate(ctx context.Context, graph string, req serveapi.EstimateRequest) (serveapi.EstimateResponse, error) {
 	var resp serveapi.EstimateResponse
 	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/estimate", req, &resp)
 	return resp, err
+}
+
+// CountOrEstimate runs an exact count with ?degrade=estimate: under
+// overload the server answers with a sampling estimate instead of 429.
+// Exactly one of the two responses is non-nil — est when the server
+// degraded (est.Degraded is set), count otherwise.
+func (c *Client) CountOrEstimate(ctx context.Context, graph string, req serveapi.CountRequest) (count *serveapi.CountResponse, est *serveapi.EstimateResponse, err error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	u := c.base + "/v1/graphs/" + url.PathEscape(graph) + "/count?degrade=estimate"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(b))
+	if err != nil {
+		return nil, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, nil, decodeError(resp.StatusCode, resp.Status, resp.Body)
+	}
+	if resp.Header.Get("X-Degraded") != "" {
+		est = &serveapi.EstimateResponse{}
+		return nil, est, json.NewDecoder(resp.Body).Decode(est)
+	}
+	count = &serveapi.CountResponse{}
+	return count, nil, json.NewDecoder(resp.Body).Decode(count)
+}
+
+// IngestOpen opens a streaming ingest: a graph in the loading state
+// that accepts edge batches (IngestAppend) and answers approximate
+// queries from a reservoir estimator until sealed.
+func (c *Client) IngestOpen(ctx context.Context, req serveapi.IngestRequest) (serveapi.IngestResponse, error) {
+	var resp serveapi.IngestResponse
+	err := c.do(ctx, http.MethodPost, "/ingest", req, &resp)
+	return resp, err
+}
+
+// IngestStatus fetches the live state of an open ingest.
+func (c *Client) IngestStatus(ctx context.Context, name string) (serveapi.IngestResponse, error) {
+	var resp serveapi.IngestResponse
+	err := c.do(ctx, http.MethodGet, "/ingest/"+url.PathEscape(name), nil, &resp)
+	return resp, err
+}
+
+// IngestAppend streams a batch of edges into an open ingest as NDJSON
+// (one [u,v] line per edge). The response reports how many edges were
+// accepted and the updated reservoir estimate.
+func (c *Client) IngestAppend(ctx context.Context, name string, edges [][2]int) (serveapi.IngestResponse, error) {
+	var resp serveapi.IngestResponse
+	var buf bytes.Buffer
+	for _, e := range edges {
+		fmt.Fprintf(&buf, "[%d,%d]\n", e[0], e[1])
+	}
+	u := c.base + "/v1/ingest/" + url.PathEscape(name) + "/edges"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &buf)
+	if err != nil {
+		return resp, err
+	}
+	hreq.Header.Set("Content-Type", "application/x-ndjson")
+	hresp, err := c.http.Do(hreq)
+	if err != nil {
+		return resp, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode/100 != 2 {
+		return resp, decodeError(hresp.StatusCode, hresp.Status, hresp.Body)
+	}
+	return resp, json.NewDecoder(hresp.Body).Decode(&resp)
+}
+
+// IngestSeal promotes an open ingest to a registered, exact-countable
+// graph at version 1.
+func (c *Client) IngestSeal(ctx context.Context, name string) (serveapi.GraphInfo, error) {
+	var info serveapi.GraphInfo
+	err := c.do(ctx, http.MethodPost, "/ingest/"+url.PathEscape(name)+"/seal", nil, &info)
+	return info, err
+}
+
+// IngestAbort discards an open ingest.
+func (c *Client) IngestAbort(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/ingest/"+url.PathEscape(name), nil, nil)
 }
 
 // Peel runs a k-tip or k-wing peel.

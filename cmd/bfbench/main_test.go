@@ -164,12 +164,16 @@ func TestRunJSONStdout(t *testing.T) {
 			MaxDeg    int     `json:"max_deg"`
 			MeanDeg   float64 `json:"mean_deg"`
 			V2Width   int     `json:"v2_width"`
+			Estimate  float64 `json:"estimate"`
+			Samples   int     `json:"samples"`
+			RelErr    float64 `json:"rel_err"`
+			Speedup   float64 `json:"speedup_vs_exact"`
 		} `json:"results"`
 	}
 	if err := json.Unmarshal([]byte(out), &rep); err != nil {
 		t.Fatalf("invalid JSON: %v in %q", err, out)
 	}
-	if rep.Schema != "bfbench/v3" || rep.Scale != 400 {
+	if rep.Schema != "bfbench/v4" || rep.Scale != 400 {
 		t.Fatalf("header wrong: %+v", rep)
 	}
 	algos := map[string]bool{}
@@ -208,9 +212,18 @@ func TestRunJSONStdout(t *testing.T) {
 			aggCounts[r.Dataset][r.Count] = true
 			aggModes[r.Dataset][r.Agg] = true
 		}
+		if strings.HasPrefix(r.Algorithm, "estimate/") {
+			if r.Invariant != "fixed" && r.Invariant != "adaptive" && r.Invariant != "stream" {
+				t.Fatalf("estimate row with unknown budget label: %+v", r)
+			}
+			if r.Samples <= 0 || r.Estimate < 0 || r.Speedup <= 0 || r.RelErr < 0 {
+				t.Fatalf("malformed estimate row: %+v", r)
+			}
+		}
 	}
 	for _, want := range []string{
 		"family/seq", "family/arena", "family/parallel", "family/agg",
+		"estimate/vertices", "estimate/edges", "estimate/reservoir",
 		"peel-tip/delta", "peel-tip/recount", "peel-wing/delta", "peel-wing/recount",
 	} {
 		if !algos[want] {

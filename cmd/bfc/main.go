@@ -15,6 +15,7 @@
 //	bfc -file out.arxiv -invariant 2 -threads 6
 //	bfc -dataset occupations -all
 //	bfc -file out.arxiv -estimate edges -samples 5000
+//	bfc -dataset github -scale 10 -estimate edges -target-rel-err 0.02
 //	bfc -dataset producers -scale 10 -verify
 package main
 
@@ -58,7 +59,9 @@ func run(args []string, out io.Writer) error {
 		stats     = fs.Bool("stats", false, "print graph statistics")
 		verify    = fs.Bool("verify", false, "cross-check all counters (slow)")
 		estimate  = fs.String("estimate", "", "approximate instead: vertices|edges|sparsify")
-		samples   = fs.Int("samples", 1000, "sample count for -estimate vertices|edges")
+		samples   = fs.Int("samples", 0, "sample count for -estimate vertices|edges (0 = adaptive)")
+		targetErr = fs.Float64("target-rel-err", 0, "adaptive -estimate: stop when the 95% CI half-width falls below this fraction of the estimate (0 = default 5%)")
+		maxSamp   = fs.Int("max-samples", 0, "adaptive -estimate: sample-count ceiling (0 = default 65536)")
 		keepP     = fs.Float64("p", 0.5, "keep probability for -estimate sparsify")
 		seed      = fs.Int64("seed", 1, "seed for -estimate")
 		jsonOut   = fs.Bool("json", false, "emit the count result as JSON")
@@ -94,7 +97,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *estimate != "" {
-		return runEstimate(out, g, *estimate, *samples, *keepP, *seed, *jsonOut)
+		return runEstimate(out, g, *estimate, *samples, *targetErr, *maxSamp, *keepP, *seed, *jsonOut)
 	}
 
 	if *project != "" {
@@ -243,8 +246,11 @@ func runProject(out io.Writer, g *butterfly.Graph, side string, minShared int64,
 	return nil
 }
 
-func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, p float64, seed int64, jsonOut bool) error {
-	opts := butterfly.EstimateOptions{Samples: samples, P: p, Seed: seed}
+func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, targetErr float64, maxSamples int, p float64, seed int64, jsonOut bool) error {
+	opts := butterfly.EstimateOptions{
+		Samples: samples, P: p, Seed: seed,
+		TargetRelErr: targetErr, MaxSamples: maxSamples,
+	}
 	switch kind {
 	case "vertices":
 		opts.Strategy = butterfly.SampleVertices
@@ -256,7 +262,7 @@ func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, p 
 		return fmt.Errorf("unknown -estimate %q (want vertices|edges|sparsify)", kind)
 	}
 	start := time.Now()
-	est, err := g.EstimateCount(opts)
+	est, err := g.EstimateWithCI(opts)
 	if err != nil {
 		return err
 	}
@@ -266,7 +272,7 @@ func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, p 
 			"v1":       g.NumV1(),
 			"v2":       g.NumV2(),
 			"edges":    g.NumEdges(),
-			"estimate": est,
+			"estimate": est.Estimate,
 			"strategy": kind,
 			"seed":     seed,
 			"seconds":  elapsed,
@@ -274,12 +280,19 @@ func runEstimate(out io.Writer, g *butterfly.Graph, kind string, samples int, p 
 		if kind == "sparsify" {
 			res["p"] = p
 		} else {
-			res["samples"] = samples
+			res["samples"] = est.Samples
+			res["stderr"] = est.StdErr
+			res["ci95"] = est.CI95
 		}
 		return json.NewEncoder(out).Encode(res)
 	}
-	fmt.Fprintf(out, "estimated butterflies ≈ %.0f (%s sampling, %.3fs)\n",
-		est, kind, elapsed)
+	if kind == "sparsify" {
+		fmt.Fprintf(out, "estimated butterflies ≈ %.0f (%s sampling, %.3fs)\n",
+			est.Estimate, kind, elapsed)
+		return nil
+	}
+	fmt.Fprintf(out, "estimated butterflies ≈ %.0f ± %.0f (95%% CI, %s sampling, %d samples, %.3fs)\n",
+		est.Estimate, est.CI95, kind, est.Samples, elapsed)
 	return nil
 }
 

@@ -13,6 +13,20 @@
 // Mutation operations insert and delete random edges, exercising the
 // copy-on-write snapshot path and invalidating the result cache by
 // version bump — a realistic mixed read/write workload.
+//
+// With -ingest the registration phase streams the dataset through the
+// approximate tier instead of registering it wholesale: it opens a
+// /v1/ingest stream, appends edges in -ingest-batch NDJSON batches,
+// queries /v1/estimate mid-load (asserting a well-formed CI envelope),
+// seals, and verifies the sealed exact count against a local offline
+// count of the same edges — the end-to-end lifecycle CI runs as a
+// smoke gate.
+//
+// Estimate operations additionally report accuracy: because the exact
+// butterfly count of the registered graph is known, the report carries
+// the mean and max relative error of every estimate answer
+// (estimate_accuracy in -json), turning a load run into a cheap
+// statistical acceptance check.
 package main
 
 import (
@@ -31,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"butterfly"
 	"butterfly/client"
 	"butterfly/internal/obsv"
 	"butterfly/serveapi"
@@ -78,6 +93,19 @@ type report struct {
 	OpPercentiles map[string]latencyPct `json:"op_latency_ms"`
 	// Retries429 counts requests re-sent after a 429 under -retry429.
 	Retries429 int `json:"retries_429,omitempty"`
+	// EstimateAccuracy summarizes estimate-op answers against the known
+	// exact count (present when the mix ran estimate ops).
+	EstimateAccuracy *accuracySummary `json:"estimate_accuracy,omitempty"`
+}
+
+// accuracySummary is the per-run estimate accuracy report: relative
+// errors of every successful estimate answer vs. the graph's exact
+// count at registration time.
+type accuracySummary struct {
+	Answers    int     `json:"answers"`
+	Exact      int64   `json:"exact"`
+	MeanRelErr float64 `json:"mean_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
 }
 
 type latencySummary struct {
@@ -112,6 +140,9 @@ func run(args []string, out io.Writer) error {
 		jsonOut    = fs.String("json", "", "write the report as JSON to this file, or - for stdout")
 		allow5xx   = fs.Bool("allow-5xx", false, "do not fail on 5xx responses")
 		retry429   = fs.Bool("retry429", false, "re-send shed (429) requests after the server's retry_after_ms hint (up to 3 attempts)")
+		ingest     = fs.Bool("ingest", false, "stream the dataset through /v1/ingest (estimate mid-load, seal, verify) instead of registering wholesale")
+		ingestBat  = fs.Int("ingest-batch", 1000, "edges per append batch with -ingest")
+		reservoir  = fs.Int("reservoir", 0, "reservoir capacity for -ingest (0 = server default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,7 +162,12 @@ func run(args []string, out io.Writer) error {
 	cl := client.New(base)
 	ctx := context.Background()
 
-	if !*noRegister {
+	switch {
+	case *ingest:
+		if err := streamIngest(ctx, cl, out, *graph, *dataset, *scale, *ingestBat, *reservoir, *seed); err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+	case !*noRegister:
 		info, err := cl.Register(ctx, serveapi.RegisterRequest{
 			Name: *graph, Dataset: *dataset, Scale: *scale, Replace: true,
 		})
@@ -152,11 +188,15 @@ func run(args []string, out io.Writer) error {
 		byOp      = map[string]int{}
 		byStatus  = map[string]int{}
 		opLatSum  = map[string]float64{}
+		relErrs   []float64
 		fiveXX    atomic.Int64
 		retried   atomic.Int64
 		next      atomic.Int64
 		wg        sync.WaitGroup
 	)
+	// Estimate accuracy is meaningful only while the exact count stays
+	// fixed, so it is tracked unless the mix mutates the graph.
+	trackAccuracy := weights[opMutate] == 0 && info.Butterflies > 0
 	// Per-op latency histograms (concurrency-safe; observed in
 	// seconds, reported in ms) for the p50/p95/p99 table.
 	var opHist [numOps]*obsv.Histogram
@@ -179,11 +219,13 @@ func run(args []string, out io.Writer) error {
 				var (
 					status  int
 					retryMS int64
+					est     float64
+					isEst   bool
 					dt      float64
 				)
 				for attempt := 0; ; attempt++ {
 					t0 := time.Now()
-					status, retryMS = doOp(ctx, cl, *graph, info, op, rng, *timeoutMS)
+					status, retryMS, est, isEst = doOp(ctx, cl, *graph, info, op, rng, *timeoutMS)
 					dt = time.Since(t0).Seconds() * 1000
 					if status != 429 || !*retry429 || attempt >= 3 {
 						break
@@ -204,6 +246,13 @@ func run(args []string, out io.Writer) error {
 				byOp[opNames[op]]++
 				byStatus[strconv.Itoa(status)]++
 				opLatSum[opNames[op]] += dt
+				if isEst && status == 200 && trackAccuracy {
+					re := (est - float64(info.Butterflies)) / float64(info.Butterflies)
+					if re < 0 {
+						re = -re
+					}
+					relErrs = append(relErrs, re)
+				}
 				mu.Unlock()
 			}
 		}(w)
@@ -250,6 +299,17 @@ func run(args []string, out io.Writer) error {
 			P99: h.Quantile(0.99) * 1000,
 		}
 	}
+	if len(relErrs) > 0 {
+		acc := &accuracySummary{Answers: len(relErrs), Exact: info.Butterflies}
+		for _, re := range relErrs {
+			acc.MeanRelErr += re
+			if re > acc.MaxRelErr {
+				acc.MaxRelErr = re
+			}
+		}
+		acc.MeanRelErr /= float64(len(relErrs))
+		rep.EstimateAccuracy = acc
+	}
 
 	fmt.Fprintf(out, "%d requests in %.2fs → %.1f req/s (workers=%d)\n",
 		*n, rep.ElapsedSec, rep.Throughput, *c)
@@ -275,6 +335,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if rep.Retries429 > 0 {
 		fmt.Fprintf(out, "  retried %d shed request(s) after retry_after_ms\n", rep.Retries429)
+	}
+	if rep.EstimateAccuracy != nil {
+		a := rep.EstimateAccuracy
+		fmt.Fprintf(out, "  estimate accuracy: %d answers vs exact %d, mean rel err %.2f%%, max %.2f%%\n",
+			a.Answers, a.Exact, a.MeanRelErr*100, a.MaxRelErr*100)
 	}
 
 	if *jsonOut != "" {
@@ -310,8 +375,10 @@ func run(args []string, out io.Writer) error {
 // the APIError status on an HTTP-level failure, and 0 for transport
 // errors (connection refused, timeouts below HTTP) — reported as
 // their own bucket in the status table. The second return is the
-// server's retry_after_ms backoff hint, nonzero only on 429.
-func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.GraphInfo, op opKind, rng *rand.Rand, timeoutMS int) (int, int64) {
+// server's retry_after_ms backoff hint, nonzero only on 429; the last
+// two carry the answer of a successful estimate op for the accuracy
+// report.
+func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.GraphInfo, op opKind, rng *rand.Rand, timeoutMS int) (int, int64, float64, bool) {
 	var err error
 	switch op {
 	case opCount:
@@ -327,9 +394,13 @@ func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.Gr
 	case opEdges:
 		_, err = cl.EdgeSupports(ctx, graph, serveapi.EdgeSupportsRequest{Top: 20, TimeoutMillis: timeoutMS})
 	case opEstimate:
-		_, err = cl.Estimate(ctx, graph, serveapi.EstimateRequest{
+		var est serveapi.EstimateResponse
+		est, err = cl.Estimate(ctx, graph, serveapi.EstimateRequest{
 			Strategy: "edges", Samples: 500, Seed: rng.Int63n(16), TimeoutMillis: timeoutMS,
 		})
+		if err == nil {
+			return 200, 0, est.Estimate, true
+		}
 	case opPeel:
 		_, err = cl.Peel(ctx, graph, serveapi.PeelRequest{
 			Mode: "tip", K: int64(1 + rng.Intn(4)), Side: "v1", Threads: -1, TimeoutMillis: timeoutMS,
@@ -344,13 +415,71 @@ func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.Gr
 		_, err = cl.Mutate(ctx, graph, serveapi.MutateRequest{Inserts: ins, Deletes: del})
 	}
 	if err == nil {
-		return 200, 0
+		return 200, 0, 0, false
 	}
 	var apiErr *client.APIError
 	if errors.As(err, &apiErr) {
-		return apiErr.Status, apiErr.RetryAfterMS
+		return apiErr.Status, apiErr.RetryAfterMS, 0, false
 	}
-	return 0, 0 // transport failure
+	return 0, 0, 0, false // transport failure
+}
+
+// streamIngest pushes the synthetic dataset through the streaming
+// ingest lifecycle: open, NDJSON append batches, a mid-load estimate
+// (checked for a well-formed CI envelope), seal, and an exact-count
+// check of the sealed graph against a local offline count of the same
+// edges.
+func streamIngest(ctx context.Context, cl *client.Client, out io.Writer, graph, dataset string, scale, batch, reservoir int, seed int64) error {
+	g, err := butterfly.GeneratePaperDataset(dataset, scale)
+	if err != nil {
+		return err
+	}
+	edges := g.Edges()
+	if batch <= 0 {
+		batch = 1000
+	}
+	open, err := cl.IngestOpen(ctx, serveapi.IngestRequest{
+		Name: graph, M: g.NumV1(), N: g.NumV2(),
+		Reservoir: reservoir, Seed: seed, Replace: true,
+	})
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	fmt.Fprintf(out, "ingesting %s: %dx%d, %d edges in batches of %d (reservoir %d)\n",
+		graph, g.NumV1(), g.NumV2(), len(edges), batch, open.ReservoirCap)
+
+	half := len(edges) / 2
+	for i := 0; i < len(edges); i += batch {
+		end := min(i+batch, len(edges))
+		if _, err := cl.IngestAppend(ctx, graph, edges[i:end]); err != nil {
+			return fmt.Errorf("append [%d:%d]: %w", i, end, err)
+		}
+		if i < half && end >= half {
+			// Mid-load: the estimate endpoint must answer from the live
+			// reservoir with a well-formed CI envelope.
+			est, err := cl.Estimate(ctx, graph, serveapi.EstimateRequest{})
+			if err != nil {
+				return fmt.Errorf("mid-load estimate: %w", err)
+			}
+			if est.State != "loading" || est.Strategy != "reservoir" ||
+				est.Estimate < 0 || est.StdErr < 0 || est.CI95 < 1.9*est.StdErr {
+				return fmt.Errorf("malformed mid-load estimate envelope: %+v", est)
+			}
+			fmt.Fprintf(out, "  mid-load estimate ≈ %.0f ± %.0f (95%% CI, %d edges seen)\n",
+				est.Estimate, est.CI95, est.EdgesSeen)
+		}
+	}
+	sealed, err := cl.IngestSeal(ctx, graph)
+	if err != nil {
+		return fmt.Errorf("seal: %w", err)
+	}
+	exact := g.Count()
+	if sealed.Butterflies != exact {
+		return fmt.Errorf("sealed count %d != offline count %d", sealed.Butterflies, exact)
+	}
+	fmt.Fprintf(out, "sealed %s v%d: %d butterflies (matches offline count)\n",
+		sealed.Name, sealed.Version, sealed.Butterflies)
+	return nil
 }
 
 func pickOp(rng *rand.Rand, weights [numOps]int) opKind {

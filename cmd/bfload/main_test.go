@@ -62,6 +62,51 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 }
 
+// TestRunIngest streams the dataset through /v1/ingest instead of
+// registering it, then runs a mutation-free mix so the report carries
+// the estimate-accuracy summary.
+func TestRunIngest(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}))
+	defer ts.Close()
+
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-graph", "st",
+		"-dataset", "occupations",
+		"-scale", "100",
+		"-ingest", "-ingest-batch", "50", "-reservoir", "64",
+		"-n", "40",
+		"-c", "4",
+		"-mix", "count=1,estimate=2",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"mid-load estimate", "sealed st v1", "estimate accuracy"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.Server5xx != 0 {
+		t.Fatalf("report = %+v, want no 5xx", rep)
+	}
+	acc := rep.EstimateAccuracy
+	if acc == nil || acc.Answers == 0 || acc.Exact <= 0 || acc.MaxRelErr < acc.MeanRelErr {
+		t.Fatalf("estimate accuracy = %+v", acc)
+	}
+}
+
 func TestParseMix(t *testing.T) {
 	w, err := parseMix("count=3,mutate=1")
 	if err != nil {

@@ -5,6 +5,14 @@
 // mutations applied through the dynamic counter with copy-on-write
 // versioned snapshots.
 //
+// The approximate tier: POST /v1/ingest opens a graph in the loading
+// state and streams NDJSON edge batches through a fixed-memory
+// reservoir estimator (-reservoir sets the default capacity), so
+// /v1/estimate answers with error bars while the graph loads; sealing
+// promotes it to a normal exact-countable graph. Registered graphs
+// answer /v1/estimate by adaptive sampling, and an overloaded
+// /v1/count?degrade=estimate degrades to an estimate instead of a 429.
+//
 // Production machinery: per-request deadlines threaded into the
 // counting loops, a concurrency limiter with a bounded queue (429
 // load-shedding), an LRU result cache keyed by (graph, version,
@@ -75,6 +83,7 @@ func run(args []string, ready chan<- string) error {
 		fsyncMode   = fs.String("fsync", "always", "WAL flush policy: always|interval|never (needs -data-dir)")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "background flush period for -fsync interval")
 		ckptBytes   = fs.Int64("checkpoint-bytes", 64<<20, "WAL size that triggers a background checkpoint (-1 disables; needs -data-dir)")
+		reservoir   = fs.Int("reservoir", 0, "default reservoir capacity for /v1/ingest streams (0 = 65536 edges)")
 		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowMS      = fs.Int("slow-query-ms", -1, "log requests at or above this many ms as JSON lines (0 logs every request, -1 disables)")
 		slowLog     = fs.String("slow-query-log", "", "slow-query log file (empty = stderr; needs -slow-query-ms >= 0)")
@@ -84,15 +93,16 @@ func run(args []string, ready chan<- string) error {
 	}
 
 	cfg := serve.Config{
-		MaxInFlight:    *maxInflight,
-		MaxQueue:       *queue,
-		NoQueue:        *queue < 0,
-		CacheEntries:   *cacheSize,
-		NoCache:        *cacheSize <= 0,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		AllowPathLoad:  *pathLoad,
-		EnablePprof:    *pprofOn,
+		MaxInFlight:      *maxInflight,
+		MaxQueue:         *queue,
+		NoQueue:          *queue < 0,
+		CacheEntries:     *cacheSize,
+		NoCache:          *cacheSize <= 0,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		AllowPathLoad:    *pathLoad,
+		EnablePprof:      *pprofOn,
+		DefaultReservoir: *reservoir,
 	}
 	if *slowMS >= 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond

@@ -8,6 +8,7 @@ import (
 
 	"butterfly/internal/baseline"
 	"butterfly/internal/core"
+	"butterfly/internal/estimate"
 	"butterfly/internal/graph"
 )
 
@@ -484,34 +485,86 @@ const (
 	SampleSparsify
 )
 
-// EstimateOptions configures EstimateCount.
+// EstimateOptions configures EstimateCount and EstimateWithCI.
 type EstimateOptions struct {
 	Strategy EstimateStrategy
-	Samples  int     // draws for SampleVertices/SampleEdges; must be positive
-	P        float64 // keep-probability for SampleSparsify; in (0, 1]
-	Seed     int64   // RNG seed; estimators are deterministic given it
+	// Samples fixes the draw count for SampleVertices/SampleEdges.
+	// EstimateCount requires it positive; EstimateWithCI also accepts
+	// 0, which enables the adaptive stopping rule (draw until the 95%
+	// CI half-width falls below TargetRelErr × estimate).
+	Samples int
+	P       float64 // keep-probability for SampleSparsify; in (0, 1]
+	Seed    int64   // RNG seed; estimators are deterministic given it
+	// TargetRelErr is the adaptive accuracy target (EstimateWithCI
+	// with Samples == 0); 0 means 5%.
+	TargetRelErr float64
+	// MaxSamples bounds the adaptive loop; 0 means the package default
+	// (65536).
+	MaxSamples int
+}
+
+// EstimateResult is a point estimate with error bars. StdErr is the
+// standard error of the estimator (zero when it cannot be measured:
+// fewer than two samples, or the sparsify strategy, which reports no
+// error bars); CI95 is its 1.96× half-width. Samples is the number of
+// draws actually taken — under the adaptive rule, where the loop
+// stopped.
+type EstimateResult struct {
+	Estimate float64
+	StdErr   float64
+	CI95     float64
+	Samples  int
 }
 
 // EstimateCount approximates the butterfly count with an unbiased
-// sampling estimator (Sanei-Mehri et al., KDD'18 style).
+// sampling estimator (Sanei-Mehri et al., KDD'18 style). For error
+// bars and adaptive sample sizing use EstimateWithCI.
 func (g *Graph) EstimateCount(opts EstimateOptions) (float64, error) {
+	if (opts.Strategy == SampleVertices || opts.Strategy == SampleEdges) && opts.Samples <= 0 {
+		return 0, fmt.Errorf("butterfly: Samples must be positive, got %d", opts.Samples)
+	}
+	res, err := g.EstimateWithCI(opts)
+	return res.Estimate, err
+}
+
+// EstimateWithCI approximates the butterfly count and reports error
+// bars. For SampleVertices/SampleEdges with Samples == 0 the sample
+// size is chosen adaptively: draws accumulate in batches until the 95%
+// confidence half-width falls below TargetRelErr × estimate (bounded
+// by MaxSamples). SampleSparsify runs one exact count of a sparsified
+// graph and reports no error bars.
+func (g *Graph) EstimateWithCI(opts EstimateOptions) (EstimateResult, error) {
+	if g == nil || g.g == nil {
+		return EstimateResult{}, errNilGraph
+	}
 	switch opts.Strategy {
 	case SampleVertices, SampleEdges:
-		if opts.Samples <= 0 {
-			return 0, fmt.Errorf("butterfly: Samples must be positive, got %d", opts.Samples)
+		strat := estimate.StrategyVertices
+		if opts.Strategy == SampleEdges {
+			strat = estimate.StrategyEdges
 		}
-		if opts.Strategy == SampleVertices {
-			return baseline.EstimateVertexSampling(g.g, opts.Samples, opts.Seed), nil
-		}
-		return baseline.EstimateEdgeSampling(g.g, opts.Samples, opts.Seed), nil
+		return estimateResult(estimate.Sample(g.g, estimate.Options{
+			Strategy:     strat,
+			Samples:      opts.Samples,
+			TargetRelErr: opts.TargetRelErr,
+			MaxSamples:   opts.MaxSamples,
+			Seed:         opts.Seed,
+		}))
 	case SampleSparsify:
 		if opts.P <= 0 || opts.P > 1 {
-			return 0, fmt.Errorf("butterfly: P must be in (0,1], got %g", opts.P)
+			return EstimateResult{}, fmt.Errorf("butterfly: P must be in (0,1], got %g", opts.P)
 		}
-		return baseline.EstimateSparsify(g.g, opts.P, opts.Seed), nil
+		return EstimateResult{Estimate: baseline.EstimateSparsify(g.g, opts.P, opts.Seed)}, nil
 	default:
-		return 0, fmt.Errorf("butterfly: invalid estimate strategy %d", int(opts.Strategy))
+		return EstimateResult{}, fmt.Errorf("butterfly: invalid estimate strategy %d", int(opts.Strategy))
 	}
+}
+
+func estimateResult(r estimate.Result, err error) (EstimateResult, error) {
+	if err != nil {
+		return EstimateResult{}, fmt.Errorf("butterfly: %w", err)
+	}
+	return EstimateResult{Estimate: r.Estimate, StdErr: r.StdErr, CI95: r.CI95, Samples: r.Samples}, nil
 }
 
 // Verify cross-checks the whole algorithm family plus three independent

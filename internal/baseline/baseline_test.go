@@ -203,19 +203,6 @@ func TestRelativeError(t *testing.T) {
 	}
 }
 
-func TestEdgeRow(t *testing.T) {
-	ptr := []int64{0, 2, 2, 5, 6}
-	cases := []struct {
-		k    int64
-		want int
-	}{{0, 0}, {1, 0}, {2, 2}, {4, 2}, {5, 3}}
-	for _, c := range cases {
-		if got := edgeRow(ptr, c.k); got != c.want {
-			t.Errorf("edgeRow(%d) = %d, want %d", c.k, got, c.want)
-		}
-	}
-}
-
 func TestVerifyAll(t *testing.T) {
 	g := gen.PowerLawBipartite(80, 60, 400, 0.7, 0.7, 3)
 	if err := VerifyAll(g); err != nil {

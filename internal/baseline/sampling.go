@@ -2,11 +2,17 @@ package baseline
 
 import (
 	"fmt"
-	"math/rand"
 
 	"butterfly/internal/core"
+	"butterfly/internal/estimate"
 	"butterfly/internal/graph"
 )
+
+// The sampling estimators below are retained as the differential-test
+// surface for internal/estimate, which owns the production
+// implementation (shared wedge-accumulator kernel, adaptive stopping,
+// error bars). These wrappers keep the original fixed-budget
+// signatures and panic semantics.
 
 // EstimateVertexSampling approximates ΞG with the vertex-sampling
 // estimator of Sanei-Mehri et al. [10]: draw `samples` vertices
@@ -21,40 +27,7 @@ func EstimateVertexSampling(g *graph.Bipartite, samples int, seed int64) float64
 	if samples <= 0 {
 		panic("baseline: samples must be positive")
 	}
-	m := g.NumV1()
-	if m == 0 {
-		return 0
-	}
-	rng := rand.New(rand.NewSource(seed))
-	adj, adjT := g.Adj(), g.AdjT()
-	acc := make([]int32, m)
-	touched := make([]int32, 0, 1024)
-
-	var sum float64
-	for s := 0; s < samples; s++ {
-		u := rng.Intn(m)
-		u32 := int32(u)
-		var bu int64
-		for _, v := range adj.Row(u) {
-			for _, w := range adjT.Row(int(v)) {
-				if w == u32 {
-					continue
-				}
-				if acc[w] == 0 {
-					touched = append(touched, w)
-				}
-				acc[w]++
-			}
-		}
-		for _, w := range touched {
-			c := int64(acc[w])
-			bu += c * (c - 1) / 2
-			acc[w] = 0
-		}
-		touched = touched[:0]
-		sum += float64(bu)
-	}
-	return float64(m) * (sum / float64(samples)) / 2
+	return estimate.VertexSampling(g, samples, seed)
 }
 
 // EstimateEdgeSampling approximates ΞG by sampling `samples` edges
@@ -70,63 +43,7 @@ func EstimateEdgeSampling(g *graph.Bipartite, samples int, seed int64) float64 {
 	if samples <= 0 {
 		panic("baseline: samples must be positive")
 	}
-	e := g.NumEdges()
-	if e == 0 {
-		return 0
-	}
-	rng := rand.New(rand.NewSource(seed))
-	adj, adjT := g.Adj(), g.AdjT()
-	acc := make([]int32, g.NumV1())
-	touched := make([]int32, 0, 1024)
-
-	var sum float64
-	for s := 0; s < samples; s++ {
-		k := rng.Int63n(e) // edge id = position in the CSR value array
-		u := edgeRow(adj.Ptr, k)
-		v := adj.Col[k]
-		u32 := int32(u)
-		// β_uw for all partners w of u.
-		for _, vv := range adj.Row(u) {
-			for _, w := range adjT.Row(int(vv)) {
-				if w == u32 {
-					continue
-				}
-				if acc[w] == 0 {
-					touched = append(touched, w)
-				}
-				acc[w]++
-			}
-		}
-		// support(u,v) = Σ_{w∈N(v), w≠u} (β_uw − 1).
-		var sup int64
-		for _, w := range adjT.Row(int(v)) {
-			if w == u32 {
-				continue
-			}
-			sup += int64(acc[w]) - 1
-		}
-		for _, w := range touched {
-			acc[w] = 0
-		}
-		touched = touched[:0]
-		sum += float64(sup)
-	}
-	return float64(e) * (sum / float64(samples)) / 4
-}
-
-// edgeRow locates the row containing flat edge index k by binary search
-// over the CSR row pointer.
-func edgeRow(ptr []int64, k int64) int {
-	lo, hi := 0, len(ptr)-1
-	for lo < hi-1 {
-		mid := (lo + hi) / 2
-		if ptr[mid] <= k {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return estimate.EdgeSampling(g, samples, seed)
 }
 
 // RelativeError is a convenience for reporting estimator quality:

@@ -2,10 +2,8 @@ package baseline
 
 import (
 	"fmt"
-	"math/rand"
 
-	"butterfly/internal/core"
-	"butterfly/internal/graph"
+	"butterfly/internal/estimate"
 )
 
 // StreamEstimator approximates the butterfly count of an edge stream
@@ -21,12 +19,13 @@ import (
 // duplicate-free streams; with R ≥ N it is exact. Memory is O(R)
 // regardless of stream length — the property that matters when the
 // stream cannot be stored.
+//
+// This is the original panic-on-misuse prototype surface, retained for
+// differential tests; the implementation is internal/estimate's
+// Reservoir, which additionally maintains the reservoir count
+// incrementally and tracks error bars.
 type StreamEstimator struct {
-	m, n int
-	cap  int
-	seen int64
-	res  []graph.Edge
-	rng  *rand.Rand
+	r *estimate.Reservoir
 }
 
 // NewStreamEstimator returns an estimator over vertex sets of size m
@@ -38,44 +37,24 @@ func NewStreamEstimator(m, n, reservoir int, seed int64) *StreamEstimator {
 	if reservoir < 4 {
 		panic(fmt.Sprintf("baseline: reservoir %d < 4 cannot hold a butterfly", reservoir))
 	}
-	return &StreamEstimator{
-		m: m, n: n, cap: reservoir,
-		res: make([]graph.Edge, 0, reservoir),
-		rng: rand.New(rand.NewSource(seed)),
+	r, err := estimate.NewReservoir(m, n, reservoir, seed)
+	if err != nil {
+		panic("baseline: " + err.Error())
 	}
+	return &StreamEstimator{r: r}
 }
 
 // Add feeds the next stream edge. Out-of-range endpoints panic.
 func (s *StreamEstimator) Add(u, v int) {
-	if u < 0 || u >= s.m || v < 0 || v >= s.n {
-		panic(fmt.Sprintf("baseline: stream edge (%d,%d) out of range %dx%d", u, v, s.m, s.n))
-	}
-	s.seen++
-	e := graph.Edge{U: int32(u), V: int32(v)}
-	if len(s.res) < s.cap {
-		s.res = append(s.res, e)
-		return
-	}
-	// Classic reservoir replacement: keep with probability cap/seen.
-	if j := s.rng.Int63n(s.seen); j < int64(s.cap) {
-		s.res[j] = e
+	if err := s.r.Add(u, v); err != nil {
+		m, n := s.r.Dims()
+		panic(fmt.Sprintf("baseline: stream edge (%d,%d) out of range %dx%d", u, v, m, n))
 	}
 }
 
 // Seen returns the number of stream edges consumed.
-func (s *StreamEstimator) Seen() int64 { return s.seen }
+func (s *StreamEstimator) Seen() int64 { return s.r.Seen() }
 
 // Estimate returns the current butterfly estimate for the whole
 // stream.
-func (s *StreamEstimator) Estimate() float64 {
-	sample := graph.FromEdges(s.m, s.n, s.res)
-	count := float64(core.CountAuto(sample))
-	if s.seen <= int64(s.cap) {
-		return count
-	}
-	p4 := 1.0
-	for i := int64(0); i < 4; i++ {
-		p4 *= float64(int64(s.cap)-i) / float64(s.seen-i)
-	}
-	return count / p4
-}
+func (s *StreamEstimator) Estimate() float64 { return s.r.Snapshot().Estimate }

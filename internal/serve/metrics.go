@@ -147,6 +147,19 @@ func (m *metrics) write(w io.Writer, s *Server) {
 		fmt.Fprintf(w, "bfserved_checkpoint_errors_total %d\n", m.checkpointErrors.Load())
 	}
 
+	// Streaming ingest.
+	ingests := s.reg.Ingests()
+	fmt.Fprintln(w, "# HELP bfserved_open_ingests Streaming ingests currently open (graphs in the loading state).")
+	fmt.Fprintln(w, "# TYPE bfserved_open_ingests gauge")
+	fmt.Fprintf(w, "bfserved_open_ingests %d\n", len(ingests))
+	if len(ingests) > 0 {
+		fmt.Fprintln(w, "# HELP bfserved_ingest_edges_seen Edges consumed so far by each open ingest.")
+		fmt.Fprintln(w, "# TYPE bfserved_ingest_edges_seen gauge")
+		for _, ing := range ingests {
+			fmt.Fprintf(w, "bfserved_ingest_edges_seen{graph=%q} %d\n", ing.name, ing.res.Seen())
+		}
+	}
+
 	// Per-graph state.
 	snaps := s.reg.Snapshots()
 	fmt.Fprintln(w, "# HELP bfserved_graph_version Current version of each registered graph.")

@@ -93,6 +93,8 @@ type obsMetrics struct {
 	stageSeconds  *obsv.HistogramVec // {stage}
 	responseBytes *obsv.HistogramVec
 	slowQueries   *obsv.CounterVec
+	estimates     *obsv.CounterVec // {kind}
+	ingestEdges   *obsv.CounterVec
 }
 
 func newObsMetrics() *obsMetrics {
@@ -109,6 +111,11 @@ func newObsMetrics() *obsMetrics {
 			"Response body size in bytes.", obsv.SizeBuckets),
 		slowQueries: reg.Counter("bfserved_slow_queries_total",
 			"Requests at or above the slow-query threshold."),
+		estimates: reg.Counter("bfserved_estimates_total",
+			"Approximate-tier answers served, by kind (reservoir|sample|degraded).",
+			"kind"),
+		ingestEdges: reg.Counter("bfserved_ingest_edges_total",
+			"Edges accepted by streaming ingest."),
 	}
 }
 
@@ -149,6 +156,8 @@ func setTrace(resp any, t *serveapi.TraceSpan) {
 	case *serveapi.EdgeSupportsResponse:
 		v.Trace = t
 	case *serveapi.EstimateResponse:
+		v.Trace = t
+	case *serveapi.IngestResponse:
 		v.Trace = t
 	case *serveapi.PeelResponse:
 		v.Trace = t

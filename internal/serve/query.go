@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"butterfly"
 	"butterfly/internal/obsv"
@@ -134,7 +135,8 @@ func keyVertex(side butterfly.Side, top int) string {
 }
 
 func keyEstimate(req *serveapi.EstimateRequest) string {
-	return fmt.Sprintf("estimate|%s|samples=%d|p=%g|seed=%d", req.Strategy, req.Samples, req.P, req.Seed)
+	return fmt.Sprintf("estimate|%s|samples=%d|p=%g|seed=%d|tre=%g|max=%d",
+		req.Strategy, req.Samples, req.P, req.Seed, req.TargetRelErr, req.MaxSamples)
 }
 
 // keyPeel includes the engine: the subgraph summary is identical
@@ -251,10 +253,24 @@ func (s *Server) execEdgeSupports(ctx context.Context, sl *slot, snap *Snapshot,
 }
 
 // execEstimate runs a sampling estimator (deterministic given the
-// seed, hence cacheable).
+// seed, hence cacheable). Samples == 0 with a sampling strategy means
+// adaptive sizing: draws accumulate until the 95% CI half-width is
+// below the target relative error or MaxSamples is hit.
 func (s *Server) execEstimate(ctx context.Context, sl *slot, snap *Snapshot, req *serveapi.EstimateRequest) (*serveapi.EstimateResponse, error) {
-	opts := butterfly.EstimateOptions{Samples: req.Samples, P: req.P, Seed: req.Seed}
-	switch req.Strategy {
+	opts := butterfly.EstimateOptions{
+		Samples:      req.Samples,
+		P:            req.P,
+		Seed:         req.Seed,
+		TargetRelErr: req.TargetRelErr,
+		MaxSamples:   req.MaxSamples,
+	}
+	strategy := req.Strategy
+	if strategy == "" || strategy == "auto" {
+		// Edge sampling is usually the lowest-variance choice on skewed
+		// graphs, and every sample is O(deg) — a safe default.
+		strategy = "edges"
+	}
+	switch strategy {
 	case "vertices":
 		opts.Strategy = butterfly.SampleVertices
 	case "edges":
@@ -262,20 +278,69 @@ func (s *Server) execEstimate(ctx context.Context, sl *slot, snap *Snapshot, req
 	case "sparsify":
 		opts.Strategy = butterfly.SampleSparsify
 	default:
-		return nil, badReqf("unknown strategy %q (want vertices|edges|sparsify)", req.Strategy)
+		return nil, badReqf("unknown strategy %q (want auto|vertices|edges|sparsify)", req.Strategy)
 	}
-	est, err := runAbandon(ctx, sl, func() (float64, error) {
-		est, err := snap.Graph.EstimateCount(opts)
+	if req.Samples < 0 {
+		return nil, badReqf("samples must be ≥ 0, got %d", req.Samples)
+	}
+	if req.TargetRelErr < 0 {
+		return nil, badReqf("target_rel_err must be ≥ 0, got %g", req.TargetRelErr)
+	}
+	if req.MaxSamples < 0 {
+		return nil, badReqf("max_samples must be ≥ 0, got %d", req.MaxSamples)
+	}
+	res, err := runAbandon(ctx, sl, func() (butterfly.EstimateResult, error) {
+		res, err := snap.Graph.EstimateWithCI(opts)
 		if err != nil {
-			return 0, badRequestError{err.Error()}
+			return res, badRequestError{err.Error()}
 		}
-		return est, nil
+		return res, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &serveapi.EstimateResponse{Graph: snap.Name, Version: snap.Version, Estimate: est}, nil
+	s.obs.estimates.With("sample").Inc()
+	return &serveapi.EstimateResponse{
+		Graph:    snap.Name,
+		Version:  snap.Version,
+		Strategy: strategy,
+		Estimate: res.Estimate,
+		StdErr:   res.StdErr,
+		CI95:     res.CI95,
+		Samples:  res.Samples,
+	}, nil
 }
+
+// degradedEstimate is the admission limiter's degrade-to-estimate
+// fallback (?degrade=estimate on /count): a small fixed-budget edge
+// sample, deliberately bounded so it stays cheap enough to run outside
+// an execution slot. The seed is fixed — under sustained overload
+// repeated degrades return a stable answer instead of jittering.
+func (s *Server) degradedEstimate(snap *Snapshot) (any, error) {
+	start := time.Now()
+	res, err := snap.Graph.EstimateWithCI(butterfly.EstimateOptions{
+		Strategy: butterfly.SampleEdges,
+		Samples:  degradeSamples,
+		Seed:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &serveapi.EstimateResponse{
+		Graph:     snap.Name,
+		Version:   snap.Version,
+		Strategy:  "edges",
+		Estimate:  res.Estimate,
+		StdErr:    res.StdErr,
+		CI95:      res.CI95,
+		Samples:   res.Samples,
+		Degraded:  true,
+		ElapsedMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
+// degradeSamples is the fixed edge-sample budget of the degrade path.
+const degradeSamples = 256
 
 // execPeel runs a k-tip or k-wing peel and summarizes the surviving
 // subgraph. The kernel span, when present, receives the peeling

@@ -92,6 +92,11 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
 
+	// ingests are graphs still streaming in (see ingest.go): a name is
+	// in entries (registered, exact-countable) or ingests (loading,
+	// answerable only by the reservoir estimator), never both.
+	ingests map[string]*ingestState
+
 	// persist, when non-nil, is the durability hook: appended to
 	// before any state change is published (append-before-publish).
 	persist Persister
@@ -99,7 +104,7 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	return &Registry{entries: make(map[string]*entry), ingests: make(map[string]*ingestState)}
 }
 
 // SetPersister installs the durability hook. Set it before the
@@ -160,6 +165,9 @@ func (r *Registry) RegisterObserved(name string, g *butterfly.Graph, replace boo
 	if _, ok := r.entries[name]; ok && !replace {
 		return nil, ErrExists{name}
 	}
+	if _, ok := r.ingests[name]; ok && !replace {
+		return nil, ErrExists{name}
+	}
 	// Append-before-publish: the register record (carrying the full
 	// edge set) must be durable before any reader can observe the
 	// graph. Holding r.mu across log+publish keeps the WAL's record
@@ -174,6 +182,9 @@ func (r *Registry) RegisterObserved(name string, g *butterfly.Graph, replace boo
 			return nil, DurabilityError{err}
 		}
 	}
+	// Registering (with replace) over an open ingest supersedes it —
+	// this is also how sealing atomically swaps loading → registered.
+	delete(r.ingests, name)
 	r.entries[name] = e
 	return snap, nil
 }
@@ -204,23 +215,36 @@ func (r *Registry) Adopt(name string, dyn *butterfly.DynamicCounter, version uin
 	return snap, nil
 }
 
-// Get returns the current snapshot of name.
+// Get returns the current snapshot of name. A name still streaming
+// through an open ingest has no snapshot to query exactly and returns
+// ErrLoading — callers wanting the approximate answer go through
+// Ingest instead.
 func (r *Registry) Get(name string) (*Snapshot, error) {
 	r.mu.RLock()
 	e, ok := r.entries[name]
+	_, loading := r.ingests[name]
 	r.mu.RUnlock()
-	if !ok {
-		return nil, ErrNotFound{name}
+	if ok {
+		return e.snap.Load(), nil
 	}
-	return e.snap.Load(), nil
+	if loading {
+		return nil, ErrLoading{name}
+	}
+	return nil, ErrNotFound{name}
 }
 
 // Drop removes name from the registry. In-flight queries holding a
-// snapshot finish unaffected.
+// snapshot finish unaffected. Dropping a name with an open ingest
+// aborts the ingest (nothing durable to log — ingests are volatile
+// until sealed).
 func (r *Registry) Drop(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; !ok {
+		if _, ok := r.ingests[name]; ok {
+			delete(r.ingests, name)
+			return nil
+		}
 		return ErrNotFound{name}
 	}
 	if r.persist != nil {

@@ -68,6 +68,11 @@ type Config struct {
 	// request (useful with a 0 threshold in smoke tests), negative is
 	// clamped to 0. Only meaningful with SlowQueryLog set.
 	SlowQueryThreshold time.Duration
+	// DefaultReservoir is the reservoir capacity for streaming ingests
+	// that do not name one (IngestRequest.Reservoir); ≤ 0 means 65536
+	// edges. Memory per open ingest is O(capacity) on top of the
+	// retained edge log.
+	DefaultReservoir int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DefaultReservoir <= 0 {
+		c.DefaultReservoir = 1 << 16
 	}
 	return c
 }
@@ -246,6 +254,11 @@ func (s *Server) routes() {
 		{"POST", "/graphs/{name}/peel", "peel", s.handlePeel},
 		{"POST", "/graphs/{name}/mutate", "mutate", s.handleMutate},
 		{"POST", "/admin/checkpoint", "admin.checkpoint", s.handleCheckpoint},
+		{"POST", "/ingest", "ingest.open", s.handleIngestOpen},
+		{"GET", "/ingest/{name}", "ingest.status", s.handleIngestStatus},
+		{"POST", "/ingest/{name}/edges", "ingest.append", s.handleIngestAppend},
+		{"POST", "/ingest/{name}/seal", "ingest.seal", s.handleIngestSeal},
+		{"DELETE", "/ingest/{name}", "ingest.abort", s.handleIngestAbort},
 	}
 	for _, ep := range endpoints {
 		s.mux.HandleFunc(ep.method+" /v1"+ep.path, s.instrument(ep.route, apiV1, ep.h))
@@ -363,6 +376,8 @@ func errMap(err error) (status int, code string, retryMS int64) {
 	var ex ErrExists
 	var br badRequestError
 	var de DurabilityError
+	var lo ErrLoading
+	var ni ErrNotIngesting
 	switch {
 	case errors.As(err, &br):
 		return http.StatusBadRequest, serveapi.CodeInvalidArgument, 0
@@ -370,6 +385,10 @@ func errMap(err error) (status int, code string, retryMS int64) {
 		return http.StatusNotFound, serveapi.CodeNotFound, 0
 	case errors.As(err, &ex):
 		return http.StatusConflict, serveapi.CodeAlreadyExists, 0
+	case errors.As(err, &lo):
+		return http.StatusConflict, serveapi.CodeLoading, 0
+	case errors.As(err, &ni):
+		return http.StatusConflict, serveapi.CodeNotIngesting, 0
 	case errors.Is(err, errShed):
 		return http.StatusTooManyRequests, serveapi.CodeOverloaded, 1000
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -462,22 +481,37 @@ func snapInfo(sn *Snapshot) serveapi.GraphInfo {
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	sp := stateOf(r).root().Child("registry")
 	snaps := s.reg.Snapshots()
-	out := serveapi.GraphList{Graphs: make([]serveapi.GraphInfo, 0, len(snaps))}
+	ingests := s.reg.Ingests()
+	out := serveapi.GraphList{Graphs: make([]serveapi.GraphInfo, 0, len(snaps)+len(ingests))}
 	for _, sn := range snaps {
 		out.Graphs = append(out.Graphs, snapInfo(sn))
+	}
+	// Loading graphs appear after the registered ones, each group
+	// sorted by name.
+	for _, ing := range ingests {
+		out.Graphs = append(out.Graphs, ingestInfo(ing))
 	}
 	sp.End()
 	s.writeOK(w, r, http.StatusOK, &out)
 }
 
 func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
 	sp := stateOf(r).root().Child("registry")
-	sn, err := s.reg.Get(r.PathValue("name"))
-	sp.End()
+	sn, err := s.reg.Get(name)
 	if err != nil {
+		// A loading graph has no snapshot but does have a live status.
+		if ing, ok := s.reg.Ingest(name); ok {
+			sp.End()
+			info := ingestInfo(ing)
+			s.writeOK(w, r, http.StatusOK, &info)
+			return
+		}
+		sp.End()
 		s.writeError(w, r, err)
 		return
 	}
+	sp.End()
 	info := snapInfo(sn)
 	s.writeOK(w, r, http.StatusOK, &info)
 }
@@ -675,7 +709,14 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 // and ?debug=true requests bypass the cache in both directions: a
 // debug response carries its own trace, so it must be neither served
 // from nor stored into the shared cache.
-func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS int, key string, exec func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error)) {
+//
+// onShed, when non-nil, is the degrade-to-estimate fallback: instead
+// of answering 429 when the admission queue is full, the request is
+// answered inline — outside any execution slot — with whatever cheap
+// approximation onShed produces (marked by the X-Degraded header and
+// never cached). The fallback must be orders of magnitude cheaper than
+// the exact query, since it deliberately bypasses admission control.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS int, key string, onShed func(snap *Snapshot) (any, error), exec func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error)) {
 	st := stateOf(r)
 	root := st.root()
 
@@ -709,6 +750,17 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS in
 	err = s.lim.acquire(ctx)
 	asp.End()
 	if err != nil {
+		if errors.Is(err, errShed) && onShed != nil {
+			dsp := root.Child("degrade")
+			resp, derr := onShed(snap)
+			dsp.End()
+			if derr == nil {
+				s.obs.estimates.With("degraded").Inc()
+				w.Header().Set("X-Degraded", "estimate")
+				s.writeOK(w, r, http.StatusOK, resp)
+				return
+			}
+		}
 		s.writeError(w, r, err)
 		return
 	}
@@ -762,6 +814,8 @@ func setElapsed(resp any, ms int64) {
 		v.ElapsedMS = ms
 	case *serveapi.EstimateResponse:
 		v.ElapsedMS = ms
+	case *serveapi.IngestResponse:
+		v.ElapsedMS = ms
 	case *serveapi.PeelResponse:
 		v.ElapsedMS = ms
 	}
@@ -780,8 +834,21 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	// ?degrade=estimate opts into the approximate tier under overload:
+	// a shed request answers 200 with a sampling estimate (Degraded
+	// set, X-Degraded header) instead of a bare 429.
+	var onShed func(snap *Snapshot) (any, error)
+	switch r.URL.Query().Get("degrade") {
+	case "":
+	case "estimate":
+		onShed = s.degradedEstimate
+	default:
+		psp.End()
+		s.writeError(w, r, badReqf("unknown degrade mode %q (want estimate)", r.URL.Query().Get("degrade")))
+		return
+	}
 	psp.End()
-	s.serveQuery(w, r, req.TimeoutMillis, keyCountFor(&req), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+	s.serveQuery(w, r, req.TimeoutMillis, keyCountFor(&req), onShed, func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execCount(ctx, snap, &req, ksp)
 	})
 }
@@ -805,7 +872,7 @@ func (s *Server) handleVertexCounts(w http.ResponseWriter, r *http.Request) {
 		top = 100
 	}
 	psp.End()
-	s.serveQuery(w, r, req.TimeoutMillis, keyVertex(side, top), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+	s.serveQuery(w, r, req.TimeoutMillis, keyVertex(side, top), nil, func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execVertexCounts(ctx, sl, snap, side, top)
 	})
 }
@@ -823,13 +890,14 @@ func (s *Server) handleEdgeSupports(w http.ResponseWriter, r *http.Request) {
 		top = 100
 	}
 	psp.End()
-	s.serveQuery(w, r, req.TimeoutMillis, fmt.Sprintf("%s|top=%d", keyEdges, top), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+	s.serveQuery(w, r, req.TimeoutMillis, fmt.Sprintf("%s|top=%d", keyEdges, top), nil, func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execEdgeSupports(ctx, sl, snap, top)
 	})
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
-	psp := stateOf(r).root().Child("parse")
+	root := stateOf(r).root()
+	psp := root.Child("parse")
 	var req serveapi.EstimateRequest
 	if err := decodeBody(r, &req); err != nil {
 		psp.End()
@@ -837,7 +905,29 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	psp.End()
-	s.serveQuery(w, r, req.TimeoutMillis, keyEstimate(&req), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+	// A graph still streaming through /v1/ingest answers from the live
+	// reservoir: O(1), uncached, and deliberately outside admission
+	// control — the approximate tier must answer even when the exact
+	// tier is saturated (that is its job).
+	if ing, ok := s.reg.Ingest(r.PathValue("name")); ok {
+		rsp := root.Child("reservoir")
+		st := ing.status()
+		rsp.End()
+		s.obs.estimates.With("reservoir").Inc()
+		resp := &serveapi.EstimateResponse{
+			Graph:         st.Graph,
+			State:         "loading",
+			Strategy:      "reservoir",
+			Estimate:      st.Estimate,
+			StdErr:        st.StdErr,
+			CI95:          st.CI95,
+			EdgesSeen:     st.EdgesSeen,
+			ReservoirSize: st.ReservoirSize,
+		}
+		s.writeOK(w, r, http.StatusOK, resp)
+		return
+	}
+	s.serveQuery(w, r, req.TimeoutMillis, keyEstimate(&req), nil, func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execEstimate(ctx, sl, snap, &req)
 	})
 }
@@ -873,7 +963,7 @@ func (s *Server) handlePeel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	psp.End()
-	s.serveQuery(w, r, req.TimeoutMillis, keyPeel(req.Mode, req.K, side, engine), func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
+	s.serveQuery(w, r, req.TimeoutMillis, keyPeel(req.Mode, req.K, side, engine), nil, func(ctx context.Context, sl *slot, snap *Snapshot, ksp *obsv.Span) (any, error) {
 		return s.execPeel(ctx, sl, snap, &req, ksp)
 	})
 }

@@ -35,9 +35,14 @@ type RegisterRequest struct {
 }
 
 // GraphInfo describes one registered graph at its current version.
+// State is empty for registered (exact-countable) graphs; graphs still
+// streaming through /v1/ingest appear in listings with State "loading",
+// Version 0, NumEdges = edges seen so far and Butterflies = the current
+// reservoir estimate (rounded).
 type GraphInfo struct {
 	Name        string     `json:"name"`
 	Version     uint64     `json:"version"`
+	State       string     `json:"state,omitempty"`
 	NumV1       int        `json:"v1"`
 	NumV2       int        `json:"v2"`
 	NumEdges    int64      `json:"edges"`
@@ -142,25 +147,89 @@ type EdgeSupportsResponse struct {
 	Trace     *TraceSpan    `json:"trace,omitempty"`
 }
 
-// EstimateRequest asks for an approximate count. Strategy is
-// "vertices", "edges" (Samples draws) or "sparsify" (keep-probability
-// P). Estimators are deterministic given Seed, which is part of the
-// result-cache key.
+// EstimateRequest asks for an approximate count. On a registered graph
+// Strategy is "vertices", "edges", "sparsify" (keep-probability P), or
+// "auto"/empty (edge sampling, the usual lowest-variance choice).
+// Samples > 0 draws a fixed sample; Samples == 0 (vertices/edges only)
+// sizes the sample adaptively: draws accumulate until the 95% CI
+// half-width falls below TargetRelErr × estimate (default 5%), bounded
+// by MaxSamples. Estimators are deterministic given Seed, which is
+// part of the result-cache key. On a graph still loading through
+// /v1/ingest every field is ignored: the response comes from the live
+// reservoir estimator.
 type EstimateRequest struct {
-	Strategy      string  `json:"strategy"`
+	Strategy      string  `json:"strategy,omitempty"`
 	Samples       int     `json:"samples,omitempty"`
 	P             float64 `json:"p,omitempty"`
 	Seed          int64   `json:"seed,omitempty"`
+	TargetRelErr  float64 `json:"target_rel_err,omitempty"`
+	MaxSamples    int     `json:"max_samples,omitempty"`
 	TimeoutMillis int     `json:"timeout_ms,omitempty"`
 }
 
-// EstimateResponse reports an estimated count.
+// EstimateResponse reports an estimated count with its error bars.
+// StdErr is the standard error of the estimator and CI95 its 1.96×
+// half-width (both absent for "sparsify", which reports no error
+// bars). On a registered graph Strategy names the estimator that ran
+// and Samples the draws taken. On a loading graph State is "loading",
+// Strategy is "reservoir", Version is 0, and EdgesSeen/ReservoirSize
+// describe the stream; the estimate is exact (zero error bars) while
+// the stream still fits the reservoir. Degraded marks an estimate
+// served in place of an exact count by the admission limiter's
+// degrade-to-estimate path (see CountRequest).
 type EstimateResponse struct {
-	Graph     string     `json:"graph"`
-	Version   uint64     `json:"version"`
-	Estimate  float64    `json:"estimate"`
-	ElapsedMS int64      `json:"elapsed_ms"`
-	Trace     *TraceSpan `json:"trace,omitempty"`
+	Graph         string     `json:"graph"`
+	Version       uint64     `json:"version"`
+	State         string     `json:"state,omitempty"`
+	Strategy      string     `json:"strategy,omitempty"`
+	Estimate      float64    `json:"estimate"`
+	StdErr        float64    `json:"stderr,omitempty"`
+	CI95          float64    `json:"ci95,omitempty"`
+	Samples       int        `json:"samples,omitempty"`
+	EdgesSeen     int64      `json:"edges_seen,omitempty"`
+	ReservoirSize int        `json:"reservoir_size,omitempty"`
+	Degraded      bool       `json:"degraded,omitempty"`
+	ElapsedMS     int64      `json:"elapsed_ms"`
+	Trace         *TraceSpan `json:"trace,omitempty"`
+}
+
+// IngestRequest opens a streaming ingest (POST /v1/ingest): a graph of
+// declared dimensions M×N that will receive edges in NDJSON batches
+// (POST /v1/ingest/{name}/edges, one `[u,v]` JSON array per line).
+// While loading, /v1/estimate answers from a reservoir estimator of
+// the given capacity (server default when 0); sealing promotes the
+// graph to a normal exact-countable registered graph. Replace drops an
+// existing registered graph or open ingest of the same name. The
+// in-flight ingest is not durable — only sealing writes to the WAL.
+type IngestRequest struct {
+	Name      string `json:"name"`
+	M         int    `json:"m"`
+	N         int    `json:"n"`
+	Reservoir int    `json:"reservoir,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Replace   bool   `json:"replace,omitempty"`
+}
+
+// IngestResponse reports the live state of a streaming ingest: the
+// stream bookkeeping and the current reservoir estimate with error
+// bars. Accepted, present on append responses, counts the edges
+// consumed from that request. Exact reports that the whole stream
+// still fits the reservoir (the estimate is the true count so far).
+type IngestResponse struct {
+	Graph         string     `json:"graph"`
+	State         string     `json:"state"`
+	M             int        `json:"m"`
+	N             int        `json:"n"`
+	EdgesSeen     int64      `json:"edges_seen"`
+	Accepted      int64      `json:"accepted,omitempty"`
+	ReservoirSize int        `json:"reservoir_size"`
+	ReservoirCap  int        `json:"reservoir_cap"`
+	Estimate      float64    `json:"estimate"`
+	StdErr        float64    `json:"stderr,omitempty"`
+	CI95          float64    `json:"ci95,omitempty"`
+	Exact         bool       `json:"exact,omitempty"`
+	ElapsedMS     int64      `json:"elapsed_ms"`
+	Trace         *TraceSpan `json:"trace,omitempty"`
 }
 
 // PeelRequest runs a k-tip or k-wing peel. Mode is "tip" (Side "v1"
@@ -273,6 +342,13 @@ const (
 	// CodeNotDurable is a state change the write-ahead log refused to
 	// record; the change was rolled back (500).
 	CodeNotDurable = "not_durable"
+	// CodeLoading is an exact query against a graph still streaming
+	// through /v1/ingest (409); use /v1/estimate or seal the ingest.
+	CodeLoading = "loading"
+	// CodeNotIngesting is an ingest operation (append/seal/abort)
+	// against a graph that is not an open ingest — typically already
+	// sealed (409).
+	CodeNotIngesting = "not_ingesting"
 	// CodeInternal is everything else (500).
 	CodeInternal = "internal"
 )

@@ -90,9 +90,80 @@ func TestWireFormat(t *testing.T) {
 			`{"strategy":"sparsify","samples":100,"p":0.25,"seed":7,"timeout_ms":100}`,
 		},
 		{
+			"EstimateRequest adaptive knobs",
+			&EstimateRequest{Strategy: "edges", Seed: 7, TargetRelErr: 0.02, MaxSamples: 5000},
+			`{"strategy":"edges","seed":7,"target_rel_err":0.02,"max_samples":5000}`,
+		},
+		{
 			"EstimateResponse",
 			&EstimateResponse{Graph: "g", Version: 1, Estimate: 35.5, ElapsedMS: 2},
 			`{"graph":"g","version":1,"estimate":35.5,"elapsed_ms":2}`,
+		},
+		{
+			// A sampling estimate on a registered graph carries the
+			// estimator name, error bars and the draws taken.
+			"EstimateResponse sampled",
+			&EstimateResponse{Graph: "g", Version: 2, Strategy: "edges", Estimate: 36,
+				StdErr: 1.5, CI95: 2.94, Samples: 64, ElapsedMS: 1},
+			`{"graph":"g","version":2,"strategy":"edges","estimate":36,` +
+				`"stderr":1.5,"ci95":2.94,"samples":64,"elapsed_ms":1}`,
+		},
+		{
+			// A reservoir answer on a loading graph: version 0, stream
+			// bookkeeping instead of a sample count.
+			"EstimateResponse loading",
+			&EstimateResponse{Graph: "g", State: "loading", Strategy: "reservoir",
+				Estimate: 120.5, StdErr: 4, CI95: 7.84, EdgesSeen: 900,
+				ReservoirSize: 512, ElapsedMS: 1},
+			`{"graph":"g","version":0,"state":"loading","strategy":"reservoir",` +
+				`"estimate":120.5,"stderr":4,"ci95":7.84,"edges_seen":900,` +
+				`"reservoir_size":512,"elapsed_ms":1}`,
+		},
+		{
+			// The limiter's degrade-to-estimate path marks the envelope.
+			"EstimateResponse degraded",
+			&EstimateResponse{Graph: "g", Version: 2, Strategy: "edges", Estimate: 36,
+				Samples: 256, Degraded: true, ElapsedMS: 1},
+			`{"graph":"g","version":2,"strategy":"edges","estimate":36,` +
+				`"samples":256,"degraded":true,"elapsed_ms":1}`,
+		},
+		{
+			"IngestRequest",
+			&IngestRequest{Name: "g", M: 100, N: 200, Reservoir: 4096, Seed: 7, Replace: true},
+			`{"name":"g","m":100,"n":200,"reservoir":4096,"seed":7,"replace":true}`,
+		},
+		{
+			"IngestRequest zero omits optionals",
+			&IngestRequest{Name: "g", M: 2, N: 3},
+			`{"name":"g","m":2,"n":3}`,
+		},
+		{
+			"IngestResponse",
+			&IngestResponse{Graph: "g", State: "loading", M: 100, N: 200,
+				EdgesSeen: 5000, Accepted: 1000, ReservoirSize: 4096, ReservoirCap: 4096,
+				Estimate: 120.5, StdErr: 4, CI95: 7.84, ElapsedMS: 3},
+			`{"graph":"g","state":"loading","m":100,"n":200,"edges_seen":5000,` +
+				`"accepted":1000,"reservoir_size":4096,"reservoir_cap":4096,` +
+				`"estimate":120.5,"stderr":4,"ci95":7.84,"elapsed_ms":3}`,
+		},
+		{
+			// While the stream fits the reservoir the estimate is exact
+			// and the error-bar fields are omitted.
+			"IngestResponse exact regime",
+			&IngestResponse{Graph: "g", State: "loading", M: 4, N: 4,
+				EdgesSeen: 16, ReservoirSize: 16, ReservoirCap: 64, Estimate: 36,
+				Exact: true, ElapsedMS: 1},
+			`{"graph":"g","state":"loading","m":4,"n":4,"edges_seen":16,` +
+				`"reservoir_size":16,"reservoir_cap":64,"estimate":36,` +
+				`"exact":true,"elapsed_ms":1}`,
+		},
+		{
+			// A loading graph in listings: state "loading", version 0.
+			"GraphInfo loading",
+			&GraphInfo{Name: "g", State: "loading", NumV1: 2, NumV2: 4, NumEdges: 8,
+				Butterflies: 6, Density: 0.5},
+			`{"name":"g","version":0,"state":"loading","v1":2,"v2":4,"edges":8,` +
+				`"butterflies":6,"density":0.5}`,
 		},
 		{
 			// Mode accepts "tip" or "wing"; both spellings are pinned,
@@ -154,6 +225,18 @@ func TestWireFormat(t *testing.T) {
 			"ErrorEnvelope overloaded",
 			&ErrorEnvelope{Error: ErrorDetail{Code: CodeOverloaded, Message: "server overloaded", RetryAfterMS: 1000}},
 			`{"error":{"code":"overloaded","message":"server overloaded","retry_after_ms":1000}}`,
+		},
+		{
+			// Exact queries against a still-loading graph.
+			"ErrorEnvelope loading",
+			&ErrorEnvelope{Error: ErrorDetail{Code: CodeLoading, Message: `graph "g" is still loading; use the estimate endpoint or seal the ingest`}},
+			`{"error":{"code":"loading","message":"graph \"g\" is still loading; use the estimate endpoint or seal the ingest"}}`,
+		},
+		{
+			// Ingest operations against a name with no open ingest.
+			"ErrorEnvelope not ingesting",
+			&ErrorEnvelope{Error: ErrorDetail{Code: CodeNotIngesting, Message: `graph "g" has no open ingest`}},
+			`{"error":{"code":"not_ingesting","message":"graph \"g\" has no open ingest"}}`,
 		},
 		{
 			// Debug errors carry the span tree.

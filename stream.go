@@ -3,44 +3,81 @@ package butterfly
 import (
 	"fmt"
 
-	"butterfly/internal/baseline"
+	"butterfly/internal/estimate"
 )
 
 // StreamEstimator approximates the butterfly count of an edge stream
-// with a fixed-size uniform reservoir: memory stays O(reservoir)
-// regardless of stream length, and the estimate is unbiased for
-// duplicate-free streams (exact while the reservoir still fits the
-// whole stream). The O(1)-memory companion to DynamicCounter, for
-// streams too large to keep.
+// with a fixed-size uniform reservoir (the FLEET family, Sanei-Mehri
+// et al.): memory stays O(reservoir) regardless of stream length, and
+// the estimate is unbiased for duplicate-free streams (exact while the
+// reservoir still fits the whole stream). The butterfly count of the
+// reservoir subgraph is maintained incrementally, so snapshots are
+// cheap; the O(1)-memory companion to DynamicCounter, for streams too
+// large to keep. Safe for concurrent use.
 type StreamEstimator struct {
-	s    *baseline.StreamEstimator
-	m, n int
+	r *estimate.Reservoir
+}
+
+// StreamSnapshot is a consistent point-in-time view of a
+// StreamEstimator: the estimate, its error bars, and the reservoir
+// bookkeeping. Exact reports whether the whole stream still fits the
+// reservoir (the estimate is the true count and the error bars are
+// zero).
+type StreamSnapshot struct {
+	Estimate      float64
+	StdErr        float64
+	CI95          float64 // 1.96 · StdErr
+	EdgesSeen     int64
+	ReservoirSize int
+	Capacity      int
+	Exact         bool
 }
 
 // NewStreamEstimator returns an estimator over vertex sets of size m
 // and n. reservoir must be at least 4 (a butterfly's edge count).
 func NewStreamEstimator(m, n, reservoir int, seed int64) (*StreamEstimator, error) {
-	if m < 0 || n < 0 {
-		return nil, fmt.Errorf("butterfly: negative vertex-set size %d/%d", m, n)
+	r, err := estimate.NewReservoir(m, n, reservoir, seed)
+	if err != nil {
+		return nil, fmt.Errorf("butterfly: %w", err)
 	}
-	if reservoir < 4 {
-		return nil, fmt.Errorf("butterfly: reservoir %d < 4 cannot hold a butterfly", reservoir)
-	}
-	return &StreamEstimator{s: baseline.NewStreamEstimator(m, n, reservoir, seed), m: m, n: n}, nil
+	return &StreamEstimator{r: r}, nil
 }
 
 // Add feeds the next stream edge.
 func (e *StreamEstimator) Add(u, v int) error {
-	if u < 0 || u >= e.m || v < 0 || v >= e.n {
-		return fmt.Errorf("butterfly: stream edge (%d,%d) out of range %dx%d", u, v, e.m, e.n)
+	if err := e.r.Add(u, v); err != nil {
+		return fmt.Errorf("butterfly: %w", err)
 	}
-	e.s.Add(u, v)
+	return nil
+}
+
+// AddBatch feeds a batch of edges atomically with respect to Snapshot.
+// The batch is validated before any edge is applied.
+func (e *StreamEstimator) AddBatch(edges [][2]int) error {
+	if err := e.r.AddBatch(edges); err != nil {
+		return fmt.Errorf("butterfly: %w", err)
+	}
 	return nil
 }
 
 // Seen returns the number of edges consumed.
-func (e *StreamEstimator) Seen() int64 { return e.s.Seen() }
+func (e *StreamEstimator) Seen() int64 { return e.r.Seen() }
 
 // Estimate returns the current butterfly estimate for the whole
 // stream.
-func (e *StreamEstimator) Estimate() float64 { return e.s.Estimate() }
+func (e *StreamEstimator) Estimate() float64 { return e.r.Snapshot().Estimate }
+
+// Snapshot returns the estimate together with its error bars and
+// reservoir bookkeeping.
+func (e *StreamEstimator) Snapshot() StreamSnapshot {
+	s := e.r.Snapshot()
+	return StreamSnapshot{
+		Estimate:      s.Estimate,
+		StdErr:        s.StdErr,
+		CI95:          s.CI95,
+		EdgesSeen:     s.EdgesSeen,
+		ReservoirSize: s.ReservoirSize,
+		Capacity:      s.Capacity,
+		Exact:         s.Exact,
+	}
+}
