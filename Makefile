@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench tables verify examples cover clean smoke crash-smoke
+.PHONY: all build vet fmt test race bench tables verify examples cover clean smoke crash-smoke cluster-smoke bench-cluster
 
 all: build vet test
 
@@ -64,6 +64,16 @@ smoke:
 # bfserved mid-flight and prove the restart serves the same state.
 crash-smoke:
 	./scripts/crash_recovery_smoke.sh
+
+# Local mirror of the CI cluster-smoke job: 2 shards + router,
+# partitioned vs single-home count agreement, kill -9 one shard
+# mid-run (degraded answers), WAL-replay restart, zero wrong counts.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+# Router-mode vs single-node throughput comparison (writes BENCH_PR8.json).
+bench-cluster:
+	./scripts/bench_cluster.sh
 
 clean:
 	rm -f bench_output.txt test_output.txt bfserved bfload

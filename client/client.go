@@ -41,11 +41,18 @@ var ErrDeadline = errors.New("bfserved: deadline exceeded (504)")
 // ErrNotFound reports a 404: the named graph is not registered.
 var ErrNotFound = errors.New("bfserved: graph not found (404)")
 
-// APIError is any non-2xx response; 429/504/404 additionally unwrap to
-// the sentinel errors above. Code is the machine-readable error code
-// from the /v1 envelope (one of the serveapi.Code* constants; empty
-// when talking to a pre-/v1 server). RetryAfterMS is the server's
-// backoff hint, nonzero only with serveapi.CodeOverloaded.
+// ErrUnavailable reports a 503: the server is draining, a replica is
+// behind its read floor, or — through a cluster router — shards are
+// unreachable. Like 429, the APIError's RetryAfterMS carries the
+// server's backoff hint.
+var ErrUnavailable = errors.New("bfserved: unavailable (503)")
+
+// APIError is any non-2xx response; 429/504/404/503 additionally
+// unwrap to the sentinel errors above. Code is the machine-readable
+// error code from the /v1 envelope (one of the serveapi.Code*
+// constants; empty when talking to a pre-/v1 server). RetryAfterMS is
+// the server's backoff hint, set with serveapi.CodeOverloaded (429)
+// and with the 503 codes (unavailable, replica_behind).
 type APIError struct {
 	Status       int
 	Code         string
@@ -69,15 +76,21 @@ func (e *APIError) Unwrap() error {
 		return ErrDeadline
 	case http.StatusNotFound:
 		return ErrNotFound
+	case http.StatusServiceUnavailable:
+		return ErrUnavailable
 	default:
 		return nil
 	}
 }
 
-// Client talks to one bfserved instance. Safe for concurrent use.
+// Client talks to one bfserved instance (or cluster router). Safe for
+// concurrent use. A client built by DialCluster additionally carries
+// fallback base URLs: idempotent reads that fail with a transport
+// error or a 503 are retried against them in order.
 type Client struct {
-	base string
-	http *http.Client
+	base      string
+	fallbacks []string
+	http      *http.Client
 }
 
 // Option customizes a Client.
@@ -124,9 +137,47 @@ func decodeError(status int, statusLine string, body io.Reader) error {
 	return &APIError{Status: status, Message: statusLine}
 }
 
-// do issues one request against the /v1 surface and decodes the
-// response into out (skipped when out is nil).
+// do issues one write (or otherwise non-retryable) request against
+// the /v1 surface and decodes the response into out (skipped when out
+// is nil). Writes never fail over: replaying one against a different
+// server could double-apply it.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.roundTrip(ctx, c.base, method, path, in, out)
+}
+
+// doRead issues an idempotent read, failing over to the fallback
+// bases (DialCluster) on a transport error or a 503 — a draining
+// node, or a replica behind its read floor.
+func (c *Client) doRead(ctx context.Context, method, path string, in, out any) error {
+	err := c.roundTrip(ctx, c.base, method, path, in, out)
+	if err == nil || len(c.fallbacks) == 0 || !retryableRead(err) {
+		return err
+	}
+	for _, base := range c.fallbacks {
+		if ctx.Err() != nil {
+			return err
+		}
+		ferr := c.roundTrip(ctx, base, method, path, in, out)
+		if ferr == nil || !retryableRead(ferr) {
+			return ferr
+		}
+		err = ferr
+	}
+	return err
+}
+
+// retryableRead reports whether a read's failure may resolve on a
+// different server: transport errors and 503s do; 404s, 4xx and
+// deadline expiries do not.
+func retryableRead(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Status == http.StatusServiceUnavailable
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+func (c *Client) roundTrip(ctx context.Context, base, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -135,7 +186,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		}
 		body = bytes.NewReader(b)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+"/v1"+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, base+"/v1"+path, body)
 	if err != nil {
 		return err
 	}
@@ -154,6 +205,48 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// DialCluster probes a seed list of bfserved addresses and returns a
+// client for the cluster: the first address whose /v1/healthz answers
+// with Role "router" becomes the base, every other reachable address
+// a read fallback. With no router in the list (a plain single-node
+// deployment, or the router is down) the first reachable address
+// serves as base. Idempotent reads (Count, Estimate, GraphInfo, …)
+// retry against the fallbacks on transport errors and 503s; writes
+// never fail over.
+func DialCluster(ctx context.Context, addrs []string, opts ...Option) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: DialCluster needs at least one address")
+	}
+	var routers, others []string
+	var lastErr error
+	for _, a := range addrs {
+		probe := New(a, opts...)
+		h, err := probe.Health(ctx)
+		if err != nil {
+			// A draining node answers 503 but is still serving; keep it
+			// as a fallback of last resort.
+			if errors.Is(err, ErrUnavailable) {
+				others = append(others, a)
+			} else {
+				lastErr = err
+			}
+			continue
+		}
+		if h.Role == "router" {
+			routers = append(routers, a)
+		} else {
+			others = append(others, a)
+		}
+	}
+	order := append(routers, others...)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("client: no reachable bfserved among %d addresses: %w", len(addrs), lastErr)
+	}
+	c := New(order[0], opts...)
+	c.fallbacks = order[1:]
+	return c, nil
 }
 
 // Health fetches /v1/healthz. A draining server answers 503, surfaced
@@ -190,14 +283,14 @@ func (c *Client) Register(ctx context.Context, req serveapi.RegisterRequest) (se
 // Graphs lists the registered graphs.
 func (c *Client) Graphs(ctx context.Context) ([]serveapi.GraphInfo, error) {
 	var list serveapi.GraphList
-	err := c.do(ctx, http.MethodGet, "/graphs", nil, &list)
+	err := c.doRead(ctx, http.MethodGet, "/graphs", nil, &list)
 	return list.Graphs, err
 }
 
 // GraphInfo fetches one graph's current version info.
 func (c *Client) GraphInfo(ctx context.Context, name string) (serveapi.GraphInfo, error) {
 	var info serveapi.GraphInfo
-	err := c.do(ctx, http.MethodGet, "/graphs/"+url.PathEscape(name), nil, &info)
+	err := c.doRead(ctx, http.MethodGet, "/graphs/"+url.PathEscape(name), nil, &info)
 	return info, err
 }
 
@@ -209,21 +302,21 @@ func (c *Client) Drop(ctx context.Context, name string) error {
 // Count runs an exact butterfly count.
 func (c *Client) Count(ctx context.Context, graph string, req serveapi.CountRequest) (serveapi.CountResponse, error) {
 	var resp serveapi.CountResponse
-	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/count", req, &resp)
+	err := c.doRead(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/count", req, &resp)
 	return resp, err
 }
 
 // VertexCounts fetches the top vertices by butterfly participation.
 func (c *Client) VertexCounts(ctx context.Context, graph string, req serveapi.VertexCountsRequest) (serveapi.VertexCountsResponse, error) {
 	var resp serveapi.VertexCountsResponse
-	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/vertex-counts", req, &resp)
+	err := c.doRead(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/vertex-counts", req, &resp)
 	return resp, err
 }
 
 // EdgeSupports fetches the top edges by butterfly support.
 func (c *Client) EdgeSupports(ctx context.Context, graph string, req serveapi.EdgeSupportsRequest) (serveapi.EdgeSupportsResponse, error) {
 	var resp serveapi.EdgeSupportsResponse
-	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/edge-supports", req, &resp)
+	err := c.doRead(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/edge-supports", req, &resp)
 	return resp, err
 }
 
@@ -232,7 +325,7 @@ func (c *Client) EdgeSupports(ctx context.Context, graph string, req serveapi.Ed
 // estimate (State "loading").
 func (c *Client) Estimate(ctx context.Context, graph string, req serveapi.EstimateRequest) (serveapi.EstimateResponse, error) {
 	var resp serveapi.EstimateResponse
-	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/estimate", req, &resp)
+	err := c.doRead(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/estimate", req, &resp)
 	return resp, err
 }
 
@@ -325,7 +418,7 @@ func (c *Client) IngestAbort(ctx context.Context, name string) error {
 // Peel runs a k-tip or k-wing peel.
 func (c *Client) Peel(ctx context.Context, graph string, req serveapi.PeelRequest) (serveapi.PeelResponse, error) {
 	var resp serveapi.PeelResponse
-	err := c.do(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/peel", req, &resp)
+	err := c.doRead(ctx, http.MethodPost, "/graphs/"+url.PathEscape(graph)+"/peel", req, &resp)
 	return resp, err
 }
 

@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"butterfly/serveapi"
+)
+
+// fakeNode is a minimal /v1 server with a settable role and a count
+// endpoint that can be forced to answer 503.
+func fakeNode(t *testing.T, role string, unavailable *atomic.Bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(serveapi.Health{Status: "ok", Role: role})
+	})
+	mux.HandleFunc("POST /v1/graphs/{name}/count", func(w http.ResponseWriter, r *http.Request) {
+		if unavailable != nil && unavailable.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(serveapi.ErrorEnvelope{Error: serveapi.ErrorDetail{
+				Code: serveapi.CodeUnavailable, Message: "draining", RetryAfterMS: 250,
+			}})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(serveapi.CountResponse{Graph: r.PathValue("name"), Butterflies: 42, Version: 1})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestDialClusterPrefersRouter(t *testing.T) {
+	shard := fakeNode(t, "shard", nil)
+	router := fakeNode(t, "router", nil)
+	c, err := DialCluster(context.Background(), []string{shard.URL, router.URL})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	if c.BaseURL() != router.URL {
+		t.Errorf("base = %q, want router %q", c.BaseURL(), router.URL)
+	}
+	if len(c.fallbacks) != 1 || c.fallbacks[0] != shard.URL {
+		t.Errorf("fallbacks = %v, want [%q]", c.fallbacks, shard.URL)
+	}
+}
+
+func TestDialClusterNoRouter(t *testing.T) {
+	shard := fakeNode(t, "shard", nil)
+	c, err := DialCluster(context.Background(), []string{"http://127.0.0.1:1", shard.URL})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	if c.BaseURL() != shard.URL {
+		t.Errorf("base = %q, want %q", c.BaseURL(), shard.URL)
+	}
+	if _, err := DialCluster(context.Background(), []string{"http://127.0.0.1:1"}); err == nil {
+		t.Error("DialCluster with no reachable node succeeded")
+	}
+}
+
+func TestReadFailsOverOn503(t *testing.T) {
+	var down atomic.Bool
+	primary := fakeNode(t, "router", &down)
+	backup := fakeNode(t, "shard", nil)
+	c, err := DialCluster(context.Background(), []string{primary.URL, backup.URL})
+	if err != nil {
+		t.Fatalf("DialCluster: %v", err)
+	}
+	down.Store(true)
+	cr, err := c.Count(context.Background(), "g", serveapi.CountRequest{})
+	if err != nil {
+		t.Fatalf("count should have failed over: %v", err)
+	}
+	if cr.Butterflies != 42 {
+		t.Errorf("count = %d, want 42", cr.Butterflies)
+	}
+}
+
+func TestRetryAfterSurfacedOn503(t *testing.T) {
+	var down atomic.Bool
+	down.Store(true)
+	node := fakeNode(t, "shard", &down)
+	c := New(node.URL) // no fallbacks: the 503 must surface
+	_, err := c.Count(context.Background(), "g", serveapi.CountRequest{})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want APIError, got %v", err)
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("503 does not unwrap to ErrUnavailable: %v", err)
+	}
+	if ae.RetryAfterMS != 250 {
+		t.Errorf("RetryAfterMS = %d, want 250 (hint lost on 503)", ae.RetryAfterMS)
+	}
+	if ae.Code != serveapi.CodeUnavailable {
+		t.Errorf("Code = %q, want %q", ae.Code, serveapi.CodeUnavailable)
+	}
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cluster mode (-cluster): besides driving load through the router at
+// -addr, bfload scrapes every shard's /metrics before and after the
+// run and reports how the router spread the work — per-shard request
+// deltas with share percentages, and the ratio between the slowest
+// and fastest shard's p99 (computed from the delta of each shard's
+// bfserved_request_seconds histogram). A share far from 1/N or a p99
+// skew well above 1 means placement is unbalanced.
+
+// shardSample is one scrape of a shard's /metrics: the total finished
+// requests and the cumulative latency-histogram buckets.
+type shardSample struct {
+	requests int64
+	buckets  map[float64]int64 // le (seconds) -> cumulative count
+}
+
+// clusterReport is the per-shard distribution section of the -json
+// report, present only with -cluster.
+type clusterReport struct {
+	Shards []shardLoad `json:"shards"`
+	// MaxShare/MinShare bound the request distribution (each in
+	// [0,1]; perfectly balanced = 1/len(Shards) each).
+	MaxShare float64 `json:"max_share"`
+	MinShare float64 `json:"min_share"`
+	// P99Skew is slowest-shard p99 / fastest-shard p99 (≥ 1; 0 when a
+	// shard saw no traffic).
+	P99Skew float64 `json:"p99_skew"`
+}
+
+type shardLoad struct {
+	Shard    string  `json:"shard"`
+	Requests int64   `json:"requests"`
+	Share    float64 `json:"share"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// scrapeShard fetches and parses one shard's /metrics.
+func scrapeShard(ctx context.Context, hc *http.Client, base string) (shardSample, error) {
+	s := shardSample{buckets: map[float64]int64{}}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return s, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("%s/metrics: HTTP %d", base, resp.StatusCode)
+	}
+	return parseShardSample(resp.Body)
+}
+
+// parseShardSample reads Prometheus text format, keeping the two
+// families the distribution report needs.
+func parseShardSample(r io.Reader) (shardSample, error) {
+	s := shardSample{buckets: map[float64]int64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, "{")
+		if !ok {
+			continue // label-free families (sums, counts) are not needed
+		}
+		labels, valStr, ok := strings.Cut(rest, "} ")
+		if !ok {
+			continue
+		}
+		switch name {
+		case "bfserved_requests_total":
+			v, err := strconv.ParseInt(strings.TrimSpace(valStr), 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("bad counter line %q: %w", line, err)
+			}
+			s.requests += v
+		case "bfserved_request_seconds_bucket":
+			le := strings.TrimPrefix(labels, `le="`)
+			le = strings.TrimSuffix(le, `"`)
+			ub, err := strconv.ParseFloat(le, 64) // ParseFloat accepts "+Inf"
+			if err != nil {
+				return s, fmt.Errorf("bad bucket line %q", line)
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(valStr), 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("bad bucket line %q: %w", line, err)
+			}
+			s.buckets[ub] = v
+		}
+	}
+	return s, sc.Err()
+}
+
+// deltaP99 estimates the p99 (in ms) of the requests a shard handled
+// between two scrapes, by linear interpolation inside the first
+// histogram-delta bucket whose cumulative count crosses 99%.
+func deltaP99(before, after shardSample) float64 {
+	les := make([]float64, 0, len(after.buckets))
+	for le := range after.buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	if len(les) == 0 {
+		return 0
+	}
+	total := after.buckets[les[len(les)-1]] - before.buckets[les[len(les)-1]]
+	if total <= 0 {
+		return 0
+	}
+	target := 0.99 * float64(total)
+	lower := 0.0
+	var below int64
+	for _, le := range les {
+		cum := after.buckets[le] - before.buckets[le]
+		if float64(cum) >= target {
+			if math.IsInf(le, 1) {
+				return lower * 1000 // open-ended bucket: report its floor
+			}
+			inBucket := cum - below
+			if inBucket <= 0 {
+				return le * 1000
+			}
+			frac := (target - float64(below)) / float64(inBucket)
+			return (lower + frac*(le-lower)) * 1000
+		}
+		below = cum
+		lower = le
+	}
+	return lower * 1000
+}
+
+// clusterSection reduces before/after scrapes into the report section.
+// Shards are reported in the order given; a shard that failed to
+// scrape (missing from either map) is reported with Requests -1.
+func clusterSection(shards []string, before, after map[string]shardSample) *clusterReport {
+	cr := &clusterReport{}
+	var total int64
+	for _, sh := range shards {
+		b, okB := before[sh]
+		a, okA := after[sh]
+		if !okB || !okA {
+			cr.Shards = append(cr.Shards, shardLoad{Shard: sh, Requests: -1})
+			continue
+		}
+		load := shardLoad{
+			Shard:    sh,
+			Requests: a.requests - b.requests,
+			P99MS:    deltaP99(b, a),
+		}
+		total += load.Requests
+		cr.Shards = append(cr.Shards, load)
+	}
+	if total <= 0 {
+		return cr
+	}
+	cr.MinShare = 1
+	minP99, maxP99 := 0.0, 0.0
+	for i := range cr.Shards {
+		l := &cr.Shards[i]
+		if l.Requests < 0 {
+			continue
+		}
+		l.Share = float64(l.Requests) / float64(total)
+		if l.Share > cr.MaxShare {
+			cr.MaxShare = l.Share
+		}
+		if l.Share < cr.MinShare {
+			cr.MinShare = l.Share
+		}
+		if l.P99MS > 0 {
+			if minP99 == 0 || l.P99MS < minP99 {
+				minP99 = l.P99MS
+			}
+			if l.P99MS > maxP99 {
+				maxP99 = l.P99MS
+			}
+		}
+	}
+	if minP99 > 0 {
+		cr.P99Skew = maxP99 / minP99
+	}
+	return cr
+}
+
+// scrapeAll scrapes every shard, tolerating individual failures (a
+// shard killed mid-run must not fail the report).
+func scrapeAll(ctx context.Context, hc *http.Client, shards []string, out io.Writer) map[string]shardSample {
+	samples := make(map[string]shardSample, len(shards))
+	for _, sh := range shards {
+		s, err := scrapeShard(ctx, hc, sh)
+		if err != nil {
+			fmt.Fprintf(out, "  warning: scrape %s: %v\n", sh, err)
+			continue
+		}
+		samples[sh] = s
+	}
+	return samples
+}

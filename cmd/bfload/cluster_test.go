@@ -1,0 +1,101 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const metricsT0 = `# HELP bfserved_requests_total Finished HTTP requests by route and status code.
+# TYPE bfserved_requests_total counter
+bfserved_requests_total{route="count",code="200"} 10
+bfserved_requests_total{route="mutate",code="200"} 5
+# TYPE bfserved_request_seconds histogram
+bfserved_request_seconds_bucket{le="0.005"} 8
+bfserved_request_seconds_bucket{le="0.05"} 14
+bfserved_request_seconds_bucket{le="0.5"} 15
+bfserved_request_seconds_bucket{le="+Inf"} 15
+bfserved_request_seconds_sum 0.42
+bfserved_request_seconds_count 15
+`
+
+const metricsT1 = `bfserved_requests_total{route="count",code="200"} 100
+bfserved_requests_total{route="mutate",code="200"} 15
+bfserved_request_seconds_bucket{le="0.005"} 57
+bfserved_request_seconds_bucket{le="0.05"} 113
+bfserved_request_seconds_bucket{le="0.5"} 115
+bfserved_request_seconds_bucket{le="+Inf"} 115
+`
+
+func TestParseShardSample(t *testing.T) {
+	s, err := parseShardSample(strings.NewReader(metricsT0))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.requests != 15 {
+		t.Errorf("requests = %d, want 15", s.requests)
+	}
+	if got := s.buckets[0.05]; got != 14 {
+		t.Errorf("bucket le=0.05 = %d, want 14", got)
+	}
+	if got := s.buckets[math.Inf(1)]; got != 15 {
+		t.Errorf("bucket le=+Inf = %d, want 15", got)
+	}
+}
+
+func TestDeltaP99(t *testing.T) {
+	b, err := parseShardSample(strings.NewReader(metricsT0))
+	if err != nil {
+		t.Fatalf("parse before: %v", err)
+	}
+	a, err := parseShardSample(strings.NewReader(metricsT1))
+	if err != nil {
+		t.Fatalf("parse after: %v", err)
+	}
+	// Delta: 100 requests, cumulative 49 @5ms, 99 @50ms, 100 @500ms.
+	// p99 target = 99 requests, hit exactly at the 50ms bucket edge.
+	p99 := deltaP99(b, a)
+	if p99 < 45 || p99 > 50 {
+		t.Errorf("p99 = %.2f ms, want ≈50 (interpolated within (5, 50])", p99)
+	}
+	if got := deltaP99(b, b); got != 0 {
+		t.Errorf("zero-delta p99 = %.2f, want 0", got)
+	}
+}
+
+func TestClusterSection(t *testing.T) {
+	mk := func(reqs int64, le5, le50 int64) shardSample {
+		return shardSample{requests: reqs, buckets: map[float64]int64{
+			0.005: le5, 0.05: le50, math.Inf(1): le50,
+		}}
+	}
+	before := map[string]shardSample{
+		"http://a": mk(0, 0, 0),
+		"http://b": mk(0, 0, 0),
+	}
+	after := map[string]shardSample{
+		"http://a": mk(75, 75, 75), // fast shard: everything under 5ms
+		"http://b": mk(25, 0, 25),  // slow shard: everything in (5, 50]
+	}
+	cr := clusterSection([]string{"http://a", "http://b", "http://dead"}, before, after)
+	if len(cr.Shards) != 3 {
+		t.Fatalf("shards = %d, want 3", len(cr.Shards))
+	}
+	if cr.Shards[0].Requests != 75 || math.Abs(cr.Shards[0].Share-0.75) > 1e-9 {
+		t.Errorf("shard a = %+v, want 75 req / 0.75 share", cr.Shards[0])
+	}
+	if cr.Shards[2].Requests != -1 {
+		t.Errorf("unreachable shard requests = %d, want -1", cr.Shards[2].Requests)
+	}
+	if math.Abs(cr.MaxShare-0.75) > 1e-9 || math.Abs(cr.MinShare-0.25) > 1e-9 {
+		t.Errorf("share bounds = [%.2f, %.2f], want [0.25, 0.75]", cr.MinShare, cr.MaxShare)
+	}
+	if cr.P99Skew < 2 {
+		t.Errorf("p99 skew = %.2f, want ≥ 2 (slow shard ~10x slower)", cr.P99Skew)
+	}
+	for _, l := range cr.Shards[:2] {
+		if l.P99MS <= 0 {
+			t.Errorf("shard %s p99 = %.2f, want > 0", l.Shard, l.P99MS)
+		}
+	}
+}

@@ -22,6 +22,13 @@
 // count of the same edges — the end-to-end lifecycle CI runs as a
 // smoke gate.
 //
+// Against a cluster router, -cluster lists the shard base URLs:
+// bfload scrapes each shard's /metrics before and after the run and
+// reports the per-shard request distribution plus the p99 latency
+// skew between shards — a one-command check that consistent-hash
+// placement is actually balanced. -partitions registers the graph
+// hash-partitioned across the shards (router scatter-gather counts).
+//
 // Estimate operations additionally report accuracy: because the exact
 // butterfly count of the registered graph is known, the report carries
 // the mean and max relative error of every estimate answer
@@ -37,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -96,6 +104,9 @@ type report struct {
 	// EstimateAccuracy summarizes estimate-op answers against the known
 	// exact count (present when the mix ran estimate ops).
 	EstimateAccuracy *accuracySummary `json:"estimate_accuracy,omitempty"`
+	// Cluster reports per-shard request distribution and p99 skew,
+	// present only with -cluster (see cluster.go).
+	Cluster *clusterReport `json:"cluster,omitempty"`
 }
 
 // accuracySummary is the per-run estimate accuracy report: relative
@@ -143,6 +154,8 @@ func run(args []string, out io.Writer) error {
 		ingest     = fs.Bool("ingest", false, "stream the dataset through /v1/ingest (estimate mid-load, seal, verify) instead of registering wholesale")
 		ingestBat  = fs.Int("ingest-batch", 1000, "edges per append batch with -ingest")
 		reservoir  = fs.Int("reservoir", 0, "reservoir capacity for -ingest (0 = server default)")
+		clusterStr = fs.String("cluster", "", "comma-separated shard base URLs: scrape each shard's /metrics around the run and report per-shard request share and p99 skew (-addr should be the router)")
+		partitions = fs.Int("partitions", 0, "register -graph hash-partitioned across this many shards (router only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -170,6 +183,7 @@ func run(args []string, out io.Writer) error {
 	case !*noRegister:
 		info, err := cl.Register(ctx, serveapi.RegisterRequest{
 			Name: *graph, Dataset: *dataset, Scale: *scale, Replace: true,
+			Partitions: *partitions,
 		})
 		if err != nil {
 			return fmt.Errorf("register: %w", err)
@@ -180,6 +194,23 @@ func run(args []string, out io.Writer) error {
 	info, err := cl.GraphInfo(ctx, *graph)
 	if err != nil {
 		return fmt.Errorf("graph info: %w", err)
+	}
+
+	// Cluster mode: baseline scrape of each shard's /metrics so the
+	// post-run delta isolates this run's traffic.
+	var shardURLs []string
+	for _, s := range strings.Split(*clusterStr, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			if !strings.Contains(s, "://") {
+				s = "http://" + s
+			}
+			shardURLs = append(shardURLs, strings.TrimRight(s, "/"))
+		}
+	}
+	scrapeClient := &http.Client{Timeout: 10 * time.Second}
+	var beforeSamples map[string]shardSample
+	if len(shardURLs) > 0 {
+		beforeSamples = scrapeAll(ctx, scrapeClient, shardURLs, out)
 	}
 
 	var (
@@ -299,6 +330,9 @@ func run(args []string, out io.Writer) error {
 			P99: h.Quantile(0.99) * 1000,
 		}
 	}
+	if len(shardURLs) > 0 {
+		rep.Cluster = clusterSection(shardURLs, beforeSamples, scrapeAll(ctx, scrapeClient, shardURLs, out))
+	}
 	if len(relErrs) > 0 {
 		acc := &accuracySummary{Answers: len(relErrs), Exact: info.Butterflies}
 		for _, re := range relErrs {
@@ -340,6 +374,18 @@ func run(args []string, out io.Writer) error {
 		a := rep.EstimateAccuracy
 		fmt.Fprintf(out, "  estimate accuracy: %d answers vs exact %d, mean rel err %.2f%%, max %.2f%%\n",
 			a.Answers, a.Exact, a.MeanRelErr*100, a.MaxRelErr*100)
+	}
+	if rep.Cluster != nil {
+		fmt.Fprintf(out, "shard distribution (share max %.1f%% min %.1f%%, p99 skew %.2fx):\n",
+			rep.Cluster.MaxShare*100, rep.Cluster.MinShare*100, rep.Cluster.P99Skew)
+		for _, l := range rep.Cluster.Shards {
+			if l.Requests < 0 {
+				fmt.Fprintf(out, "  %-28s unreachable\n", l.Shard)
+				continue
+			}
+			fmt.Fprintf(out, "  %-28s %6d req (%.1f%%), p99≈%.2f ms\n",
+				l.Shard, l.Requests, l.Share*100, l.P99MS)
+		}
 	}
 
 	if *jsonOut != "" {

@@ -27,9 +27,17 @@
 // restart — graceful or kill -9 — recovers every graph to the exact
 // (version, count) it last acked.
 //
+// Multi-node mode: `-role=shard` daemons hold the graphs while a
+// stateless `-role=router` places graphs on shards with a
+// consistent-hash ring, proxies the /v1 surface, and merges per-shard
+// wedge partials into exact cross-shard butterfly counts (graphs
+// registered with "partitions": P split across shards). See
+// docs/CLUSTER.md.
+//
 // Examples:
 //
 //	bfserved -addr :8080 -preload occupations@10
+//	bfserved -addr :8080 -role=router -shards http://10.0.0.1:9001,http://10.0.0.2:9001
 //	bfserved -addr :8080 -data-dir /var/lib/bfserved -fsync always
 //	bfserved -addr :8080 -max-inflight 8 -queue 32 -timeout 10s
 //	curl -s localhost:8080/graphs/occupations/count -d '{"threads": -1}'
@@ -87,12 +95,25 @@ func run(args []string, ready chan<- string) error {
 		pprofOn     = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		slowMS      = fs.Int("slow-query-ms", -1, "log requests at or above this many ms as JSON lines (0 logs every request, -1 disables)")
 		slowLog     = fs.String("slow-query-log", "", "slow-query log file (empty = stderr; needs -slow-query-ms >= 0)")
+		role        = fs.String("role", "single", "cluster role: single|shard|router (see docs/CLUSTER.md)")
+		shards      = fs.String("shards", "", "router only: comma-separated shard base URLs (http://host:port)")
+		replicas    = fs.Int("replicas", 1, "router only: shards holding a read copy of each graph")
+		vnodes      = fs.Int("vnodes", 0, "router only: consistent-hash points per shard (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	rc, err := validateRole(*role, *shards, *replicas, *vnodes, *dataDir, *preload)
+	if err != nil {
+		return err
+	}
+	if rc.role == "router" {
+		return runRouter(rc, *addr, *drainWait, ready)
+	}
+
 	cfg := serve.Config{
+		Role:             rc.role,
 		MaxInFlight:      *maxInflight,
 		MaxQueue:         *queue,
 		NoQueue:          *queue < 0,

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Partition graphs are ordinary graphs on their shard, named
+// "<graph>@@p<i>of<P>". The marker is router-internal: single-node
+// clients never see it, and the router's listing collapses the pieces
+// back into one logical entry. "@@" cannot collide with user names
+// because the router rejects registrations containing it.
+const partSep = "@@p"
+
+// partName returns the shard-resident name of partition i of P.
+func partName(graph string, i, p int) string {
+	return fmt.Sprintf("%s%s%dof%d", graph, partSep, i, p)
+}
+
+// splitPartName parses a shard graph name. ok is false for ordinary
+// (unpartitioned) names.
+func splitPartName(name string) (graph string, i, p int, ok bool) {
+	at := strings.LastIndex(name, partSep)
+	if at < 0 {
+		return "", 0, 0, false
+	}
+	rest := name[at+len(partSep):]
+	iStr, pStr, found := strings.Cut(rest, "of")
+	if !found {
+		return "", 0, 0, false
+	}
+	i, err1 := strconv.Atoi(iStr)
+	p, err2 := strconv.Atoi(pStr)
+	if err1 != nil || err2 != nil || p < 2 || i < 0 || i >= p {
+		return "", 0, 0, false
+	}
+	return name[:at], i, p, true
+}
+
+// partOf assigns a V1 vertex to a partition. The multiplicative hash
+// (Knuth's 2654435761) breaks up the sequential vertex ids real
+// datasets arrive with; a plain u%p would put each dataset's dense
+// hub prefix in partition 0. Must match the split used at register
+// time — mutations route with the same function.
+func partOf(u, p int) int {
+	return int(uint64(uint32(u)) * 2654435761 % uint64(p))
+}

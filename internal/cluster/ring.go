@@ -1,0 +1,117 @@
+// Package cluster is the multi-node mode of bfserved: a stateless
+// router that places graphs on shard daemons with a consistent-hash
+// ring, proxies the /v1 surface to the owning shard, reduces
+// cross-shard wedge partials into exact butterfly counts, and moves
+// graphs between shards on membership changes (/admin/rebalance).
+// Shards are ordinary bfserved processes — the cluster protocol is
+// three /v1/internal endpoints they already serve. See
+// docs/CLUSTER.md.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"slices"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring over shard addresses.
+// Each shard is hashed at VNodes points; a key is owned by the first
+// point clockwise of its hash. Immutability is what makes membership
+// changes safe: the router swaps a whole ring pointer, so every
+// request routes against exactly one membership view.
+type Ring struct {
+	nodes  []string // distinct shard addresses, sorted
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// DefaultVNodes is the virtual-node count used when a Ring is built
+// with vnodes ≤ 0. 64 points per shard keeps the max/mean load ratio
+// under ~1.3 for small clusters without making ring builds noticeable.
+const DefaultVNodes = 64
+
+// hashKey is FNV-64a with a splitmix64 finalizer. Raw FNV avalanches
+// poorly on short strings differing only in a trailing counter —
+// exactly the "addr#vnode" point names — which skews ring ownership
+// badly (measured 50%/7% on 4 nodes); the finalizer fixes the
+// distribution without a new dependency.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRing builds a ring over the given shard addresses. Duplicates
+// are dropped; order does not matter (two routers configured with the
+// same set in any order agree on placement).
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	nodes := slices.Clone(shards)
+	sort.Strings(nodes)
+	nodes = slices.Compact(nodes)
+	r := &Ring{nodes: nodes, points: make([]ringPoint, 0, len(nodes)*vnodes)}
+	for i, n := range nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// Nodes returns the ring's shard addresses (sorted, deduplicated).
+func (r *Ring) Nodes() []string { return slices.Clone(r.nodes) }
+
+// Len returns the number of shards on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the shard owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	s := r.Successors(key, 1)
+	if len(s) == 0 {
+		return ""
+	}
+	return s[0]
+}
+
+// Successors returns up to n distinct shards in ring order starting
+// at key's owner. This one primitive drives both placements: element
+// 0 is the primary, elements 1..R-1 are the read replicas, and
+// partition i of a P-way graph homes at element i mod len — so a
+// partitioned graph spreads across min(P, shards) shards
+// deterministically.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderIndependent(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 64)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a"}, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("graph-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs between equivalent rings: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, 32)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("g%d", i)
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %q: want 3 successors, got %v", key, succ)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %q: duplicate successor %q in %v", key, s, succ)
+			}
+			seen[s] = true
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("key %q: Successors[0]=%q != Owner=%q", key, succ[0], r.Owner(key))
+		}
+	}
+	// Asking for more than the membership clamps.
+	if got := r.Successors("x", 10); len(got) != 3 {
+		t.Fatalf("want clamp to 3 nodes, got %v", got)
+	}
+	empty := NewRing(nil, 16)
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+}
+
+func TestRingBalanceAndStability(t *testing.T) {
+	nodes := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(nodes, DefaultVNodes)
+	const keys = 4000
+	load := map[string]int{}
+	owner := map[string]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		o := r.Owner(k)
+		load[o]++
+		owner[k] = o
+	}
+	for _, n := range nodes {
+		frac := float64(load[n]) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys — outside [10%%, 45%%]", n, 100*frac)
+		}
+	}
+	// Adding one node should move roughly 1/5 of keys, not reshuffle
+	// everything — the property that makes rebalances cheap.
+	grown := NewRing(append(nodes, "http://e"), DefaultVNodes)
+	moved := 0
+	for k, o := range owner {
+		if grown.Owner(k) != o {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.40 {
+		t.Errorf("adding 1 of 5 nodes moved %.1f%% of keys — consistent hashing should move ~20%%", 100*frac)
+	}
+	if frac == 0 {
+		t.Error("adding a node moved no keys — new node gets no load")
+	}
+}
+
+func TestPartNames(t *testing.T) {
+	for _, tc := range []struct{ i, p int }{{0, 2}, {1, 2}, {3, 4}, {7, 8}} {
+		n := partName("web-graph", tc.i, tc.p)
+		g, i, p, ok := splitPartName(n)
+		if !ok || g != "web-graph" || i != tc.i || p != tc.p {
+			t.Fatalf("round trip %q: got (%q,%d,%d,%v)", n, g, i, p, ok)
+		}
+	}
+	for _, bad := range []string{"plain", "a@@p", "a@@p1of1", "a@@p2of2", "a@@pxofy", "a@@p-1of2"} {
+		if _, _, _, ok := splitPartName(bad); ok {
+			t.Errorf("splitPartName(%q) unexpectedly ok", bad)
+		}
+	}
+}
+
+func TestPartOfRange(t *testing.T) {
+	for p := 1; p <= 8; p++ {
+		counts := make([]int, p)
+		for u := 0; u < 10000; u++ {
+			i := partOf(u, p)
+			if i < 0 || i >= p {
+				t.Fatalf("partOf(%d,%d)=%d out of range", u, p, i)
+			}
+			counts[i]++
+		}
+		for i, c := range counts {
+			if p > 1 && (c < 10000/p/2 || c > 10000*2/p) {
+				t.Errorf("p=%d: partition %d got %d of 10000 — badly skewed", p, i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"slices"
+
+	"butterfly/internal/graph"
+)
+
+// PairCount is one entry of a V1-centered wedge partial: C wedges
+// (v—u—w) with center u in this graph's V1 and endpoints V < W in V2.
+// It is the cross-node analogue of the hub-split partial-pair
+// accumulator (kernel.go segPairs/reducePairs): C(β, 2) is not
+// additive across partitions of the center side, so partitions export
+// integer wedge counts and a reduction phase merges them before the
+// butterfly formula is applied.
+type PairCount struct {
+	V, W int32
+	C    int64
+}
+
+// WedgePartials returns g's V1-centered wedge frequency map over V2
+// endpoint pairs, sorted by (V, W). Merging the partials of an
+// edge-disjoint V1 partition of a graph reconstructs the exact wedge
+// multiset of the whole graph, because each wedge's center lives in
+// exactly one partition:
+//
+//	butterflies(g) = Σ_{(v,w)} C(Σ_parts β_vw, 2)
+//
+// Cost is O(Σ_u C(deg u, 2)) time and O(wedges) transient memory —
+// the same wedge work as a sequential count, plus the materialized
+// map.
+func WedgePartials(g *graph.Bipartite) []PairCount {
+	var wedges int64
+	for u := 0; u < g.NumV1(); u++ {
+		d := int64(g.DegreeV1(u))
+		wedges += d * (d - 1) / 2
+	}
+	keys := make([]uint64, 0, wedges)
+	for u := 0; u < g.NumV1(); u++ {
+		row := g.NeighborsOfV1(u)
+		for i, v := range row {
+			for _, w := range row[i+1:] {
+				// CSR rows are sorted, so v < w and the key orders
+				// pairs lexicographically.
+				keys = append(keys, uint64(v)<<32|uint64(uint32(w)))
+			}
+		}
+	}
+	slices.Sort(keys)
+	out := make([]PairCount, 0, len(keys)/2+1)
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		out = append(out, PairCount{
+			V: int32(keys[i] >> 32),
+			W: int32(uint32(keys[i])),
+			C: int64(j - i),
+		})
+		i = j
+	}
+	return out
+}
+
+// CountFromPartials merges sorted wedge partials (a k-way merge over
+// the pair keys) and applies Σ C(β, 2) — the distributed reduction
+// that turns per-partition exports into the exact global butterfly
+// count. Passing a single partial computes the count of that graph
+// alone.
+func CountFromPartials(parts ...[]PairCount) int64 {
+	idx := make([]int, len(parts))
+	var total int64
+	for {
+		// Find the minimum live key across all partials.
+		minKey := uint64(1)<<63 | uint64(1)<<62 // sentinel above any packed pair
+		live := false
+		for p, part := range parts {
+			if idx[p] < len(part) {
+				k := uint64(part[idx[p]].V)<<32 | uint64(uint32(part[idx[p]].W))
+				if !live || k < minKey {
+					minKey, live = k, true
+				}
+			}
+		}
+		if !live {
+			return total
+		}
+		var beta int64
+		for p, part := range parts {
+			if idx[p] < len(part) {
+				e := part[idx[p]]
+				if uint64(e.V)<<32|uint64(uint32(e.W)) == minKey {
+					beta += e.C
+					idx[p]++
+				}
+			}
+		}
+		total += beta * (beta - 1) / 2
+	}
+}

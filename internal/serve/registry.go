@@ -215,6 +215,47 @@ func (r *Registry) Adopt(name string, dyn *butterfly.DynamicCounter, version uin
 	return snap, nil
 }
 
+// AdoptRemote installs a graph shipped from another shard (cluster
+// rebalancing) at its carried version — unlike Adopt it is logged to
+// the persister, because this shard's store has no history for the
+// graph yet. The carried count is cross-checked against a recount of
+// the edge set (the same logical-corruption gate store recovery
+// applies to register records); a mismatch refuses the adoption.
+// Replace permits overwriting an existing name, which is how a
+// rebalance converges when a previous attempt half-finished.
+func (r *Registry) AdoptRemote(name string, g *butterfly.Graph, version uint64, count int64, replace bool) (*Snapshot, error) {
+	if name == "" {
+		return nil, fmt.Errorf("empty graph name")
+	}
+	if version == 0 {
+		return nil, fmt.Errorf("adopt %q: version must be ≥ 1", name)
+	}
+	dyn := butterfly.NewDynamicCounterFromGraph(g)
+	if dyn.Count() != count {
+		return nil, fmt.Errorf("adopt %q: carried count %d, recount computed %d", name, count, dyn.Count())
+	}
+	e := &entry{name: name, m: g.NumV1(), n: g.NumV2(), dyn: dyn}
+	snap := &Snapshot{Name: name, Version: version, Graph: g, Count: count}
+	e.snap.Store(snap)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok && !replace {
+		return nil, ErrExists{name}
+	}
+	if _, ok := r.ingests[name]; ok && !replace {
+		return nil, ErrExists{name}
+	}
+	if r.persist != nil {
+		if err := r.persist.LogRegister(name, version, g, count); err != nil {
+			return nil, DurabilityError{err}
+		}
+	}
+	delete(r.ingests, name)
+	r.entries[name] = e
+	return snap, nil
+}
+
 // Get returns the current snapshot of name. A name still streaming
 // through an open ingest has no snapshot to query exactly and returns
 // ErrLoading — callers wanting the approximate answer go through

@@ -73,6 +73,11 @@ type Config struct {
 	// edges. Memory per open ingest is O(capacity) on top of the
 	// retained edge log.
 	DefaultReservoir int
+	// Role is reported by /v1/healthz ("single" when empty) so cluster
+	// clients can tell shards from routers when probing a seed list.
+	// It does not change behavior: a shard is an ordinary bfserved that
+	// a router happens to address.
+	Role string
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +102,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultReservoir <= 0 {
 		c.DefaultReservoir = 1 << 16
+	}
+	if c.Role == "" {
+		c.Role = "single"
 	}
 	return c
 }
@@ -264,6 +272,19 @@ func (s *Server) routes() {
 		s.mux.HandleFunc(ep.method+" /v1"+ep.path, s.instrument(ep.route, apiV1, ep.h))
 		s.mux.HandleFunc(ep.method+" "+ep.path, s.instrument(ep.route, apiLegacy, ep.h))
 	}
+	// Cluster-internal endpoints are /v1-only: they postdate the legacy
+	// surface and are spoken shard-to-router, never by end users.
+	internal := []struct {
+		method, path, route string
+		h                   http.HandlerFunc
+	}{
+		{"GET", "/internal/partial/{name}", "internal.partial", s.handlePartial},
+		{"GET", "/internal/export/{name}", "internal.export", s.handleExport},
+		{"POST", "/internal/adopt", "internal.adopt", s.handleAdopt},
+	}
+	for _, ep := range internal {
+		s.mux.HandleFunc(ep.method+" /v1"+ep.path, s.instrument(ep.route, apiV1, ep.h))
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -378,9 +399,14 @@ func errMap(err error) (status int, code string, retryMS int64) {
 	var de DurabilityError
 	var lo ErrLoading
 	var ni ErrNotIngesting
+	var rb replicaBehindError
 	switch {
 	case errors.As(err, &br):
 		return http.StatusBadRequest, serveapi.CodeInvalidArgument, 0
+	case errors.As(err, &rb):
+		// The caller (a router, usually) should retry another replica
+		// or wait for this one to catch up; either way, soon.
+		return http.StatusServiceUnavailable, serveapi.CodeReplicaBehind, 50
 	case errors.As(err, &nf):
 		return http.StatusNotFound, serveapi.CodeNotFound, 0
 	case errors.As(err, &ex):
@@ -445,6 +471,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sp := stateOf(r).root().Child("registry")
 	h := serveapi.Health{
 		Status:   "ok",
+		Role:     s.cfg.Role,
 		Graphs:   s.reg.Len(),
 		InFlight: s.lim.inFlight(),
 		Queued:   int(s.lim.queueDepth()),
@@ -512,6 +539,10 @@ func (s *Server) handleGraphInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp.End()
+	if err := checkFloor(r, sn); err != nil {
+		s.writeError(w, r, err)
+		return
+	}
 	info := snapInfo(sn)
 	s.writeOK(w, r, http.StatusOK, &info)
 }
@@ -586,6 +617,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		psp.End()
 		s.writeError(w, r, badReqf("name is required"))
+		return
+	}
+	if req.Partitions > 1 {
+		// Partitioned registration is a routing-tier feature: the
+		// router splits the edge set and places the pieces. A single
+		// bfserved has nowhere to scatter to.
+		psp.End()
+		s.writeError(w, r, badReqf("partitions=%d requires a cluster router (this is a %s bfserved)", req.Partitions, s.cfg.Role))
 		return
 	}
 	psp.End()
@@ -724,6 +763,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS in
 	snap, err := s.reg.Get(r.PathValue("name"))
 	rsp.End()
 	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	if err := checkFloor(r, snap); err != nil {
 		s.writeError(w, r, err)
 		return
 	}

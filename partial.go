@@ -1,0 +1,61 @@
+package butterfly
+
+import "butterfly/internal/core"
+
+// WedgePartial is one entry of a V1-centered wedge partial map: Count
+// wedges (v—u—w) whose center u lies in the graph and whose endpoints
+// V < W lie in V2. Partials are the unit of distributed butterfly
+// counting: partition a graph's V1 side into edge-disjoint subgraphs,
+// export each partition's partials, and MergeWedgePartials reduces
+// them to the exact global count — the cross-node generalisation of
+// the hub-split partial-pair reduction used by the parallel engine.
+type WedgePartial struct {
+	V, W  int32
+	Count int64
+}
+
+// WedgePartials returns the graph's V1-centered wedge frequency map
+// over V2 endpoint pairs, sorted by (V, W). For a graph that is one
+// partition of a larger graph (same dimensions, subset of V1 rows
+// populated), the result is exactly that partition's contribution to
+// the global wedge multiset.
+func (g *Graph) WedgePartials() []WedgePartial {
+	ps := core.WedgePartials(g.g)
+	out := make([]WedgePartial, len(ps))
+	for i, p := range ps {
+		out[i] = WedgePartial{V: p.V, W: p.W, Count: p.C}
+	}
+	return out
+}
+
+// MergeWedgePartials reduces sorted wedge partials — typically one per
+// V1 partition of a graph — to the exact butterfly count of the union:
+// a k-way merge over pair keys followed by Σ C(β, 2). With a single
+// argument it computes that graph's own count.
+func MergeWedgePartials(parts ...[]WedgePartial) int64 {
+	key := func(p WedgePartial) uint64 { return uint64(p.V)<<32 | uint64(uint32(p.W)) }
+	idx := make([]int, len(parts))
+	var total int64
+	for {
+		var minKey uint64
+		live := false
+		for p, part := range parts {
+			if idx[p] < len(part) {
+				if k := key(part[idx[p]]); !live || k < minKey {
+					minKey, live = k, true
+				}
+			}
+		}
+		if !live {
+			return total
+		}
+		var beta int64
+		for p, part := range parts {
+			if idx[p] < len(part) && key(part[idx[p]]) == minKey {
+				beta += part[idx[p]].Count
+				idx[p]++
+			}
+		}
+		total += beta * (beta - 1) / 2
+	}
+}

@@ -1,0 +1,61 @@
+package butterfly
+
+import (
+	"testing"
+)
+
+// TestMergeWedgePartialsDifferential: partition V1 of generator-shaped
+// graphs by hash, export per-partition partials, and assert the merged
+// reduction equals the single-node exact count — the correctness core
+// of distributed counting.
+func TestMergeWedgePartialsDifferential(t *testing.T) {
+	shapes := map[string]*Graph{}
+	for _, spec := range []struct {
+		name string
+		gen  func() (*Graph, error)
+	}{
+		{"power-law", func() (*Graph, error) { return GeneratePowerLaw(120, 90, 900, 2.1, 2.3, 7) }},
+		{"gnm", func() (*Graph, error) { return GenerateGnm(80, 60, 600, 11) }},
+		{"complete", func() (*Graph, error) { return GenerateComplete(9, 8) }},
+		{"pref-attach", func() (*Graph, error) { return GeneratePreferentialAttachment(100, 70, 700, 5) }},
+	} {
+		g, err := spec.gen()
+		if err != nil {
+			t.Fatalf("%s: %v", spec.name, err)
+		}
+		shapes[spec.name] = g
+	}
+	for name, g := range shapes {
+		exact := g.Count()
+		for _, p := range []int{1, 2, 4} {
+			partials := make([][]WedgePartial, p)
+			for i := range partials {
+				sub := partitionByV1(t, g, i, p)
+				partials[i] = sub.WedgePartials()
+			}
+			if got := MergeWedgePartials(partials...); got != exact {
+				t.Errorf("%s p=%d: merged %d, exact %d", name, p, got, exact)
+			}
+		}
+		if got := MergeWedgePartials(g.WedgePartials()); got != exact {
+			t.Errorf("%s: single partial merge %d, exact %d", name, got, exact)
+		}
+	}
+}
+
+// partitionByV1 keeps only the edges whose V1 endpoint hashes to
+// partition i of p, preserving the graph's dimensions.
+func partitionByV1(t *testing.T, g *Graph, i, p int) *Graph {
+	t.Helper()
+	b := NewBuilder(g.NumV1(), g.NumV2())
+	for _, e := range g.Edges() {
+		if int(uint64(e[0])*2654435761%uint64(p)) == i {
+			b.AddEdge(e[0], e[1])
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		t.Fatalf("partition build: %v", err)
+	}
+	return sub
+}

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Router-mode vs single-node serving benchmark. Boots a single-node
+# bfserved, measures bfload throughput on two stand-in graphs, then
+# boots 2 shards + a router and measures the same workloads through
+# the router — both proxied (unpartitioned) and scatter-gathered
+# (partitions=2) — and writes BENCH_PR8.json combining the numbers
+# with the router's per-shard distribution stats.
+#
+# Usage: scripts/bench_cluster.sh [out.json]   (default BENCH_PR8.json)
+set -euo pipefail
+
+OUT="${1:-BENCH_PR8.json}"
+SINGLE="${SINGLE:-127.0.0.1:18085}"
+ROUTER="${ROUTER:-127.0.0.1:18086}"
+SHARD1="${SHARD1:-127.0.0.1:18087}"
+SHARD2="${SHARD2:-127.0.0.1:18088}"
+N="${N:-2000}"
+C="${C:-8}"
+MIX="${MIX:-count=3,estimate=1}"
+TMP="$(mktemp -d)"
+
+cleanup() {
+  for pid in "${SV:-0}" "${S1:-0}" "${S2:-0}" "${RT:-0}"; do
+    [ "$pid" -gt 0 ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/bfserved" ./cmd/bfserved
+go build -o "$TMP/bfload" ./cmd/bfload
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    curl -sf "http://$1/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "daemon at $1 never became ready" >&2
+  return 1
+}
+
+GRAPHS="github occupations"
+SCALE=50
+
+echo "== single-node baseline"
+"$TMP/bfserved" -addr "$SINGLE" &
+SV=$!
+wait_ready "$SINGLE"
+for g in $GRAPHS; do
+  "$TMP/bfload" -addr "$SINGLE" -graph "$g" -dataset "$g" -scale $SCALE \
+    -n "$N" -c "$C" -mix "$MIX" -json "$TMP/single_$g.json" >/dev/null
+  echo "   $g: $(grep -o '"throughput_rps": [0-9.]*' "$TMP/single_$g.json")"
+done
+kill -TERM "$SV" && wait "$SV" && SV=0
+
+echo "== router + 2 shards"
+"$TMP/bfserved" -addr "$SHARD1" -role shard &
+S1=$!
+"$TMP/bfserved" -addr "$SHARD2" -role shard &
+S2=$!
+wait_ready "$SHARD1"
+wait_ready "$SHARD2"
+"$TMP/bfserved" -addr "$ROUTER" -role router -shards "http://$SHARD1,http://$SHARD2" &
+RT=$!
+wait_ready "$ROUTER"
+
+for g in $GRAPHS; do
+  "$TMP/bfload" -addr "$ROUTER" -graph "$g" -dataset "$g" -scale $SCALE \
+    -n "$N" -c "$C" -mix "$MIX" -cluster "http://$SHARD1,http://$SHARD2" \
+    -json "$TMP/router_$g.json" >/dev/null
+  echo "   $g (proxied): $(grep -o '"throughput_rps": [0-9.]*' "$TMP/router_$g.json")"
+  "$TMP/bfload" -addr "$ROUTER" -graph "${g}_p2" -dataset "$g" -scale $SCALE \
+    -partitions 2 -n "$N" -c "$C" -mix "$MIX" -cluster "http://$SHARD1,http://$SHARD2" \
+    -json "$TMP/partitioned_$g.json" >/dev/null
+  echo "   $g (partitions=2): $(grep -o '"throughput_rps": [0-9.]*' "$TMP/partitioned_$g.json")"
+done
+
+kill -TERM "$RT" "$S1" "$S2"
+wait "$RT" "$S1" "$S2"
+RT=0 S1=0 S2=0
+
+TMPDIR_FOR_PY="$TMP" N_FOR_PY="$N" C_FOR_PY="$C" MIX_FOR_PY="$MIX" OUT_FOR_PY="$OUT" \
+python3 - <<'EOF'
+import json, os
+
+tmp = os.environ["TMPDIR_FOR_PY"]
+out = {
+    "schema": "bench_cluster/v1",
+    "requests": int(os.environ["N_FOR_PY"]),
+    "concurrency": int(os.environ["C_FOR_PY"]),
+    "mix": os.environ["MIX_FOR_PY"],
+    "scale": 50,
+    "topology": {"single": "1 node", "router": "1 router + 2 shards"},
+    "graphs": [],
+}
+for g in ["github", "occupations"]:
+    single = json.load(open(f"{tmp}/single_{g}.json"))
+    router = json.load(open(f"{tmp}/router_{g}.json"))
+    parts = json.load(open(f"{tmp}/partitioned_{g}.json"))
+    row = {
+        "graph": g,
+        "single_node_rps": round(single["throughput_rps"], 1),
+        "router_rps": round(router["throughput_rps"], 1),
+        "router_partitioned_rps": round(parts["throughput_rps"], 1),
+        "router_vs_single": round(router["throughput_rps"] / single["throughput_rps"], 3),
+        "single_p99_ms": single["latency_ms"]["p99"],
+        "router_p99_ms": router["latency_ms"]["p99"],
+        "partitioned_p99_ms": parts["latency_ms"]["p99"],
+        "proxied_cluster": router.get("cluster"),
+        "partitioned_cluster": parts.get("cluster"),
+    }
+    out["graphs"].append(row)
+with open(os.environ["OUT_FOR_PY"], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.environ['OUT_FOR_PY']}")
+for row in out["graphs"]:
+    print(f'  {row["graph"]}: single {row["single_node_rps"]} rps, '
+          f'router {row["router_rps"]} rps ({row["router_vs_single"]}x), '
+          f'partitioned {row["router_partitioned_rps"]} rps')
+EOF

@@ -1,0 +1,70 @@
+package serveapi
+
+import (
+	"bytes"
+	"testing"
+
+	"butterfly"
+)
+
+func TestPartialRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		version  uint64
+		partials []butterfly.WedgePartial
+	}{
+		{"empty", 7, nil},
+		{"one", 1, []butterfly.WedgePartial{{V: 0, W: 1, Count: 3}}},
+		{"many", 42, []butterfly.WedgePartial{
+			{V: 0, W: 1, Count: 1},
+			{V: 0, W: 5, Count: 2},
+			{V: 3, W: 4, Count: 1000000},
+			{V: 1 << 20, W: 1<<20 + 1, Count: 9},
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			enc := EncodePartial(tc.version, tc.partials)
+			v, got, err := DecodePartial(enc)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if v != tc.version {
+				t.Errorf("version = %d, want %d", v, tc.version)
+			}
+			if len(got) != len(tc.partials) {
+				t.Fatalf("len = %d, want %d", len(got), len(tc.partials))
+			}
+			for i := range got {
+				if got[i] != tc.partials[i] {
+					t.Errorf("entry %d = %+v, want %+v", i, got[i], tc.partials[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPartialDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodePartial(3, []butterfly.WedgePartial{
+		{V: 1, W: 2, Count: 5}, {V: 1, W: 9, Count: 1},
+	})
+	if _, _, err := DecodePartial(nil); err == nil {
+		t.Error("nil payload accepted")
+	}
+	if _, _, err := DecodePartial(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	flipped := bytes.Clone(enc)
+	flipped[10] ^= 0xff
+	if _, _, err := DecodePartial(flipped); err == nil {
+		t.Error("bit-flipped payload accepted (crc not checked?)")
+	}
+	badMagic := bytes.Clone(enc)
+	badMagic[0] = 'X'
+	if _, _, err := DecodePartial(badMagic); err == nil {
+		t.Error("bad magic accepted")
+	}
+	withJunk := append(bytes.Clone(enc[:len(enc)-4]), 0, 0)
+	if _, _, err := DecodePartial(withJunk); err == nil {
+		t.Error("trailing junk accepted")
+	}
+}

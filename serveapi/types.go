@@ -32,6 +32,13 @@ type RegisterRequest struct {
 	M     int      `json:"m,omitempty"`
 	N     int      `json:"n,omitempty"`
 	Edges [][2]int `json:"edges,omitempty"`
+
+	// Partitions > 1 asks a cluster router to hash-partition the
+	// graph's V1 side across that many shard-resident partition graphs
+	// and answer counts by scatter-gather reduction (see
+	// docs/CLUSTER.md). Only meaningful against a router; a single
+	// bfserved rejects it.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // GraphInfo describes one registered graph at its current version.
@@ -40,15 +47,20 @@ type RegisterRequest struct {
 // Version 0, NumEdges = edges seen so far and Butterflies = the current
 // reservoir estimate (rounded).
 type GraphInfo struct {
-	Name        string     `json:"name"`
-	Version     uint64     `json:"version"`
-	State       string     `json:"state,omitempty"`
-	NumV1       int        `json:"v1"`
-	NumV2       int        `json:"v2"`
-	NumEdges    int64      `json:"edges"`
-	Butterflies int64      `json:"butterflies"`
-	Density     float64    `json:"density"`
-	Trace       *TraceSpan `json:"trace,omitempty"`
+	Name        string  `json:"name"`
+	Version     uint64  `json:"version"`
+	State       string  `json:"state,omitempty"`
+	NumV1       int     `json:"v1"`
+	NumV2       int     `json:"v2"`
+	NumEdges    int64   `json:"edges"`
+	Butterflies int64   `json:"butterflies"`
+	Density     float64 `json:"density"`
+	// Partitions, set only by a cluster router, reports how many
+	// shard-resident V1 partitions the graph spans (absent/0 for an
+	// ordinary single-shard graph). For partitioned graphs Version is
+	// the sum of the partition versions — monotone under mutation.
+	Partitions int        `json:"partitions,omitempty"`
+	Trace      *TraceSpan `json:"trace,omitempty"`
 }
 
 // GraphList is the response of GET /graphs.
@@ -86,12 +98,17 @@ type CountRequest struct {
 // present only when the request asked for ?debug=true on the /v1
 // surface.
 type CountResponse struct {
-	Graph       string     `json:"graph"`
-	Version     uint64     `json:"version"`
-	Butterflies int64      `json:"butterflies"`
-	Agg         string     `json:"agg,omitempty"`
-	ElapsedMS   int64      `json:"elapsed_ms"`
-	Trace       *TraceSpan `json:"trace,omitempty"`
+	Graph       string `json:"graph"`
+	Version     uint64 `json:"version"`
+	Butterflies int64  `json:"butterflies"`
+	Agg         string `json:"agg,omitempty"`
+	// Partitions, set only by a cluster router, reports that the count
+	// was reduced from that many shard-resident wedge partials
+	// (scatter-gather cross-shard counting); Version is then the sum
+	// of the partition versions.
+	Partitions int        `json:"partitions,omitempty"`
+	ElapsedMS  int64      `json:"elapsed_ms"`
+	Trace      *TraceSpan `json:"trace,omitempty"`
 }
 
 // VertexCountsRequest asks for the per-vertex butterfly counts of one
@@ -178,19 +195,27 @@ type EstimateRequest struct {
 // served in place of an exact count by the admission limiter's
 // degrade-to-estimate path (see CountRequest).
 type EstimateResponse struct {
-	Graph         string     `json:"graph"`
-	Version       uint64     `json:"version"`
-	State         string     `json:"state,omitempty"`
-	Strategy      string     `json:"strategy,omitempty"`
-	Estimate      float64    `json:"estimate"`
-	StdErr        float64    `json:"stderr,omitempty"`
-	CI95          float64    `json:"ci95,omitempty"`
-	Samples       int        `json:"samples,omitempty"`
-	EdgesSeen     int64      `json:"edges_seen,omitempty"`
-	ReservoirSize int        `json:"reservoir_size,omitempty"`
-	Degraded      bool       `json:"degraded,omitempty"`
-	ElapsedMS     int64      `json:"elapsed_ms"`
-	Trace         *TraceSpan `json:"trace,omitempty"`
+	Graph         string  `json:"graph"`
+	Version       uint64  `json:"version"`
+	State         string  `json:"state,omitempty"`
+	Strategy      string  `json:"strategy,omitempty"`
+	Estimate      float64 `json:"estimate"`
+	StdErr        float64 `json:"stderr,omitempty"`
+	CI95          float64 `json:"ci95,omitempty"`
+	Samples       int     `json:"samples,omitempty"`
+	EdgesSeen     int64   `json:"edges_seen,omitempty"`
+	ReservoirSize int     `json:"reservoir_size,omitempty"`
+	Degraded      bool    `json:"degraded,omitempty"`
+	// Partitions/PartitionsLive, set only by a cluster router,
+	// describe a partition-sampling answer: the count was reduced from
+	// PartitionsLive of Partitions shard partials and scaled by
+	// (Partitions/PartitionsLive)², the vertex-sampling estimator over
+	// the partition that happened to be reachable (Strategy
+	// "partitions", Degraded true).
+	Partitions     int        `json:"partitions,omitempty"`
+	PartitionsLive int        `json:"partitions_live,omitempty"`
+	ElapsedMS      int64      `json:"elapsed_ms"`
+	Trace          *TraceSpan `json:"trace,omitempty"`
 }
 
 // IngestRequest opens a streaming ingest (POST /v1/ingest): a graph of
@@ -306,13 +331,79 @@ type CheckpointResponse struct {
 	Trace          *TraceSpan `json:"trace,omitempty"`
 }
 
-// Health is the response of GET /healthz.
+// Health is the response of GET /healthz. Role identifies the process
+// in a cluster topology: "single" (standalone daemon, the default),
+// "shard" (a daemon behind a router), or "router" (the routing tier —
+// client.DialCluster uses this to discover the router among a list of
+// candidate addresses). Shards reports the number of configured shard
+// backends, router role only.
 type Health struct {
 	Status   string     `json:"status"` // "ok" or "draining"
+	Role     string     `json:"role,omitempty"`
 	Graphs   int        `json:"graphs"`
 	InFlight int        `json:"in_flight"`
 	Queued   int        `json:"queued"`
+	Shards   int        `json:"shards,omitempty"`
 	Trace    *TraceSpan `json:"trace,omitempty"`
+}
+
+// ExportResponse is the body of GET /v1/internal/export/{name}: a
+// graph's full published state, serialized for shard hand-off. The
+// exporting shard answers from its current snapshot — which, under a
+// durable store, is exactly the newest bfstore snapshot plus the
+// replayed WAL tail — so rebalancing ships state without quiescing
+// the graph.
+type ExportResponse struct {
+	Name    string   `json:"name"`
+	M       int      `json:"m"`
+	N       int      `json:"n"`
+	Version uint64   `json:"version"`
+	Count   int64    `json:"count"`
+	Edges   [][2]int `json:"edges"`
+}
+
+// AdoptRequest is the body of POST /v1/internal/adopt: install an
+// exported graph at its carried version. The adopting shard recounts
+// the edge set and refuses the adoption if the recount disagrees with
+// the carried count (the same logical-corruption gate store recovery
+// applies), then WAL-logs the graph if the shard is durable.
+type AdoptRequest struct {
+	Name    string   `json:"name"`
+	M       int      `json:"m"`
+	N       int      `json:"n"`
+	Version uint64   `json:"version"`
+	Count   int64    `json:"count"`
+	Edges   [][2]int `json:"edges"`
+	Replace bool     `json:"replace,omitempty"`
+}
+
+// RebalanceRequest is the body of POST /admin/rebalance on a router.
+// Shards, when non-empty, replaces the router's shard set (join/leave)
+// before re-placing graphs; empty re-places against the current set.
+type RebalanceRequest struct {
+	Shards []string `json:"shards,omitempty"`
+}
+
+// MovedGraph is one graph (or partition) relocated by a rebalance.
+type MovedGraph struct {
+	Graph   string `json:"graph"`
+	From    string `json:"from"`
+	To      string `json:"to"`
+	Version uint64 `json:"version"`
+	Edges   int64  `json:"edges"`
+}
+
+// RebalanceResponse reports a completed /admin/rebalance: the new
+// shard count, every graph movement (snapshot shipped from the old
+// owner, adopted at the same version by the new one), and any
+// failures (failed moves leave the graph at its old home and routing
+// unchanged for it).
+type RebalanceResponse struct {
+	Shards    int          `json:"shards"`
+	Moved     []MovedGraph `json:"moved"`
+	Errors    []string     `json:"errors,omitempty"`
+	ElapsedMS int64        `json:"elapsed_ms"`
+	Trace     *TraceSpan   `json:"trace,omitempty"`
 }
 
 // Error is the JSON body of every non-2xx response on the legacy
@@ -349,6 +440,15 @@ const (
 	// against a graph that is not an open ingest — typically already
 	// sealed (409).
 	CodeNotIngesting = "not_ingesting"
+	// CodeReplicaBehind is a read carrying an X-Bf-Min-Version floor
+	// that this replica's snapshot has not reached yet (503); the
+	// router retries another replica. RetryAfterMS carries a short
+	// catch-up hint.
+	CodeReplicaBehind = "replica_behind"
+	// CodeUnavailable is a router answer when every candidate shard
+	// for the request was unreachable after retries (503);
+	// RetryAfterMS tells the client when to try again.
+	CodeUnavailable = "unavailable"
 	// CodeInternal is everything else (500).
 	CodeInternal = "internal"
 )
