@@ -67,11 +67,11 @@ crash-smoke:
 
 # Local mirror of the CI cluster-smoke job: 2 shards + router,
 # partitioned vs single-home count agreement, kill -9 one shard
-# mid-run (degraded answers), WAL-replay restart, zero wrong counts.
+# mid-run (pinned exact + degraded scatter), WAL-replay restart, zero wrong counts.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 
-# Router-mode vs single-node throughput comparison (writes BENCH_PR8.json).
+# Router-mode vs single-node throughput comparison (writes BENCH_PR9.json).
 bench-cluster:
 	./scripts/bench_cluster.sh
 

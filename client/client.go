@@ -107,8 +107,19 @@ func (c *Client) BaseURL() string { return c.base }
 
 // New returns a client for the server at base (e.g.
 // "http://localhost:8080"). API paths are resolved under base+"/v1".
+// The default transport keeps a generous keep-alive pool to the one
+// server it talks to — load drivers fan dozens of concurrent requests
+// at a single base URL, and net/http's default of 2 idle connections
+// per host would re-handshake most of them.
 func New(base string, opts ...Option) *Client {
-	c := &Client{base: base, http: &http.Client{Timeout: 10 * time.Minute}}
+	c := &Client{base: base, http: &http.Client{
+		Timeout: 10 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}}
 	for _, o := range opts {
 		o(c)
 	}

@@ -38,6 +38,31 @@ type clusterReport struct {
 	// P99Skew is slowest-shard p99 / fastest-shard p99 (≥ 1; 0 when a
 	// shard saw no traffic).
 	P99Skew float64 `json:"p99_skew"`
+	// Router carries the partitioned fast-path counters scraped from
+	// the router's own /metrics (nil when -addr is not a router or the
+	// scrape failed).
+	Router *routerStats `json:"router,omitempty"`
+}
+
+// routerSample is one scrape of the router's /metrics: the partial-
+// cache and coalescing counters behind the partitioned fast path.
+type routerSample struct {
+	partialHits   int64 // bfrouter_partial_cache_hits_total, all kinds
+	partialMisses int64 // bfrouter_partial_cache_misses_total, all reasons
+	coalesced     int64 // bfrouter_coalesced_total
+}
+
+// routerStats is the run's delta of routerSample, as reported.
+type routerStats struct {
+	PartialCacheHits   int64 `json:"partial_cache_hits"`
+	PartialCacheMisses int64 `json:"partial_cache_misses"`
+	// PartialCacheHitRate = hits / (hits + misses), 0 when neither.
+	PartialCacheHitRate float64 `json:"partial_cache_hit_rate"`
+	Coalesced           int64   `json:"coalesced"`
+	// CoalescedRate is coalesced joins per finished request in the
+	// run — the fraction of the load that shared another request's
+	// scatter-gather.
+	CoalescedRate float64 `json:"coalesced_rate"`
 }
 
 type shardLoad struct {
@@ -197,6 +222,86 @@ func clusterSection(shards []string, before, after map[string]shardSample) *clus
 		cr.P99Skew = maxP99 / minP99
 	}
 	return cr
+}
+
+// scrapeRouter fetches and parses the router's /metrics, keeping the
+// partitioned fast-path counters. A non-router -addr (single-node
+// bfserved) simply has none of these families and parses to zeros.
+func scrapeRouter(ctx context.Context, hc *http.Client, base string) (routerSample, error) {
+	var s routerSample
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return s, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("%s/metrics: HTTP %d", base, resp.StatusCode)
+	}
+	return parseRouterSample(resp.Body)
+}
+
+// parseRouterSample reads Prometheus text format, summing the
+// bfrouter partial-cache and coalescing counters across their label
+// values (bfrouter_coalesced_total is label-free).
+func parseRouterSample(r io.Reader) (routerSample, error) {
+	var s routerSample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+			if _, after, ok := strings.Cut(line, "} "); ok {
+				valStr = after
+			} else {
+				continue
+			}
+		}
+		var dst *int64
+		switch name {
+		case "bfrouter_partial_cache_hits_total":
+			dst = &s.partialHits
+		case "bfrouter_partial_cache_misses_total":
+			dst = &s.partialMisses
+		case "bfrouter_coalesced_total":
+			dst = &s.coalesced
+		default:
+			continue
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(valStr), 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("bad counter line %q: %w", line, err)
+		}
+		*dst += v
+	}
+	return s, sc.Err()
+}
+
+// routerSection reduces before/after router scrapes into the report.
+func routerSection(before, after routerSample, requests int64) *routerStats {
+	rs := &routerStats{
+		PartialCacheHits:   after.partialHits - before.partialHits,
+		PartialCacheMisses: after.partialMisses - before.partialMisses,
+		Coalesced:          after.coalesced - before.coalesced,
+	}
+	if total := rs.PartialCacheHits + rs.PartialCacheMisses; total > 0 {
+		rs.PartialCacheHitRate = float64(rs.PartialCacheHits) / float64(total)
+	}
+	if requests > 0 {
+		rs.CoalescedRate = float64(rs.Coalesced) / float64(requests)
+	}
+	return rs
 }
 
 // scrapeAll scrapes every shard, tolerating individual failures (a

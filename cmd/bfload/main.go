@@ -209,8 +209,17 @@ func run(args []string, out io.Writer) error {
 	}
 	scrapeClient := &http.Client{Timeout: 10 * time.Second}
 	var beforeSamples map[string]shardSample
+	var beforeRouter routerSample
+	var routerScraped bool
 	if len(shardURLs) > 0 {
 		beforeSamples = scrapeAll(ctx, scrapeClient, shardURLs, out)
+		// -addr is the router in cluster mode; its /metrics carries the
+		// partitioned fast-path counters (partial cache, coalescing).
+		if rs, err := scrapeRouter(ctx, scrapeClient, base); err == nil {
+			beforeRouter, routerScraped = rs, true
+		} else {
+			fmt.Fprintf(out, "  warning: scrape router %s: %v\n", base, err)
+		}
 	}
 
 	var (
@@ -332,6 +341,11 @@ func run(args []string, out io.Writer) error {
 	}
 	if len(shardURLs) > 0 {
 		rep.Cluster = clusterSection(shardURLs, beforeSamples, scrapeAll(ctx, scrapeClient, shardURLs, out))
+		if routerScraped {
+			if rs, err := scrapeRouter(ctx, scrapeClient, base); err == nil {
+				rep.Cluster.Router = routerSection(beforeRouter, rs, int64(*n))
+			}
+		}
 	}
 	if len(relErrs) > 0 {
 		acc := &accuracySummary{Answers: len(relErrs), Exact: info.Butterflies}
@@ -385,6 +399,11 @@ func run(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "  %-28s %6d req (%.1f%%), p99≈%.2f ms\n",
 				l.Shard, l.Requests, l.Share*100, l.P99MS)
+		}
+		if rs := rep.Cluster.Router; rs != nil {
+			fmt.Fprintf(out, "router partial cache: %d hits / %d misses (%.1f%% hit rate), coalesced %d (%.1f%% of requests)\n",
+				rs.PartialCacheHits, rs.PartialCacheMisses, rs.PartialCacheHitRate*100,
+				rs.Coalesced, rs.CoalescedRate*100)
 		}
 	}
 

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const routerMetricsT0 = `# HELP bfrouter_partial_cache_hits_total Partition partials served from router state.
+# TYPE bfrouter_partial_cache_hits_total counter
+bfrouter_partial_cache_hits_total{kind="merged"} 3
+bfrouter_partial_cache_hits_total{kind="delta"} 2
+bfrouter_partial_cache_hits_total{kind="noop"} 1
+# TYPE bfrouter_partial_cache_misses_total counter
+bfrouter_partial_cache_misses_total{reason="cold"} 4
+# TYPE bfrouter_coalesced_total counter
+bfrouter_coalesced_total 5
+bfrouter_requests_total{route="count",code="200"} 999
+`
+
+const routerMetricsT1 = `bfrouter_partial_cache_hits_total{kind="merged"} 83
+bfrouter_partial_cache_hits_total{kind="delta"} 10
+bfrouter_partial_cache_hits_total{kind="noop"} 3
+bfrouter_partial_cache_misses_total{reason="cold"} 6
+bfrouter_partial_cache_misses_total{reason="full"} 2
+bfrouter_coalesced_total 25
+`
+
+func TestParseRouterSample(t *testing.T) {
+	s, err := parseRouterSample(strings.NewReader(routerMetricsT0))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if s.partialHits != 6 {
+		t.Errorf("partialHits = %d, want 6 (summed across kinds)", s.partialHits)
+	}
+	if s.partialMisses != 4 {
+		t.Errorf("partialMisses = %d, want 4", s.partialMisses)
+	}
+	if s.coalesced != 5 {
+		t.Errorf("coalesced = %d, want 5 (label-free line)", s.coalesced)
+	}
+
+	// A single-node /metrics without the bfrouter families parses to
+	// all zeros rather than erroring.
+	s, err = parseRouterSample(strings.NewReader(metricsT0))
+	if err != nil {
+		t.Fatalf("parse shard metrics: %v", err)
+	}
+	if s.partialHits != 0 || s.partialMisses != 0 || s.coalesced != 0 {
+		t.Errorf("shard metrics parsed to %+v, want zeros", s)
+	}
+}
+
+func TestRouterSection(t *testing.T) {
+	b, err := parseRouterSample(strings.NewReader(routerMetricsT0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := parseRouterSample(strings.NewReader(routerMetricsT1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := routerSection(b, a, 200)
+	if rs.PartialCacheHits != 90 || rs.PartialCacheMisses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 90/4", rs.PartialCacheHits, rs.PartialCacheMisses)
+	}
+	if want := 90.0 / 94.0; rs.PartialCacheHitRate != want {
+		t.Errorf("hit rate = %v, want %v", rs.PartialCacheHitRate, want)
+	}
+	if rs.Coalesced != 20 || rs.CoalescedRate != 0.1 {
+		t.Errorf("coalesced = %d rate %v, want 20 rate 0.1", rs.Coalesced, rs.CoalescedRate)
+	}
+
+	// No traffic at all: rates stay zero instead of NaN.
+	rs = routerSection(b, b, 0)
+	if rs.PartialCacheHitRate != 0 || rs.CoalescedRate != 0 {
+		t.Errorf("zero-traffic rates = %v/%v, want 0/0", rs.PartialCacheHitRate, rs.CoalescedRate)
+	}
+}

@@ -1,0 +1,196 @@
+package cluster
+
+// Router-side partial caching: the version-pinned state that turns a
+// partitioned count on an unchanged graph into a metadata check.
+//
+// Each partitioned graph's meta carries a partialCache holding (a)
+// every partition's last wedge-partial map pinned to the version and
+// epoch the shard stamped on it, and (b) the merged Σ C(β, 2) result
+// of the last all-partitions-live reduce. Gathers send the pinned
+// (version, epoch) as `?since=`/`?epoch=` so an unchanged partition
+// answers with an empty delta frame and a mutated one with just its
+// changed keys; the full map travels only on the first fetch or after
+// the shard evicted its delta history.
+//
+// A generation counter orders cache state against mutations: anything
+// that can change a partition's content (partitioned mutate, re-
+// registration, rebalance, refresh) bumps the generation, and a merged
+// result is only stored if the generation still matches the one read
+// before the gather started — a gather racing a mutation can return a
+// pre-mutation answer to its own callers (it started first) but can
+// never pin it as current. The generation also keys in-flight
+// coalescing, so requests arriving after a mutation never join a
+// pre-mutation gather.
+//
+// The cache is valid precisely because partitioned graphs are only
+// written through their owning router (the PR 8 deployment contract —
+// partition names are reserved, and docs/CLUSTER.md spells out the
+// single-writer rule). A second router pointed at the same shards
+// keeps itself correct the same way this one does after restart: its
+// first gather full-fetches and re-pins.
+
+import (
+	"sync"
+
+	"butterfly"
+)
+
+// cachedPartial is one partition's pinned partial map. Immutable once
+// stored — apply-delta builds a fresh slice.
+type cachedPartial struct {
+	version  uint64
+	epoch    uint64 // shard partial-log activation token
+	partials []butterfly.WedgePartial
+}
+
+// mergedCount is the cached reduction over all partitions.
+type mergedCount struct {
+	count      int64
+	sumVersion uint64
+}
+
+// partialCache is the per-graph pinned state. The zero value is ready
+// to use.
+type partialCache struct {
+	mu     sync.Mutex
+	gen    uint64
+	parts  []*cachedPartial
+	merged *mergedCount
+}
+
+// generation returns the current invalidation generation.
+func (pc *partialCache) generation() uint64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.gen
+}
+
+// snapshot returns partition i's pinned partial, or nil.
+func (pc *partialCache) snapshot(i int) *cachedPartial {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if i < 0 || i >= len(pc.parts) {
+		return nil
+	}
+	return pc.parts[i]
+}
+
+// store pins partition i's partial. Pins never move backwards within
+// an epoch: versions only grow on a shard, so an older gather that
+// finishes late cannot clobber a newer pin.
+func (pc *partialCache) store(i int, cp *cachedPartial) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if i < 0 {
+		return
+	}
+	for len(pc.parts) <= i {
+		pc.parts = append(pc.parts, nil)
+	}
+	old := pc.parts[i]
+	if old != nil && old.epoch == cp.epoch && old.version > cp.version {
+		return
+	}
+	pc.parts[i] = cp
+}
+
+// mergedSnapshot returns the generation to gather under and, when the
+// merged reduction is still pinned with all p partitions present, that
+// result.
+func (pc *partialCache) mergedSnapshot(p int) (gen uint64, mc mergedCount, ok bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.merged == nil || len(pc.parts) < p {
+		return pc.gen, mergedCount{}, false
+	}
+	for i := 0; i < p; i++ {
+		if pc.parts[i] == nil {
+			return pc.gen, mergedCount{}, false
+		}
+	}
+	return pc.gen, *pc.merged, true
+}
+
+// setMerged pins the merged reduction, unless the cache was
+// invalidated after gen was read (the gather raced a mutation).
+func (pc *partialCache) setMerged(gen uint64, mc mergedCount) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.gen != gen {
+		return
+	}
+	pc.merged = &mc
+}
+
+// invalidate drops the merged reduction and starts a new generation.
+// Per-partition pins survive — they are version-addressed, and the
+// next gather revalidates them by delta.
+func (pc *partialCache) invalidate() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.gen++
+	pc.merged = nil
+}
+
+// clear drops everything (re-registration, membership change).
+func (pc *partialCache) clear() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.gen++
+	pc.merged = nil
+	pc.parts = nil
+}
+
+// --- in-flight coalescing ---
+
+// gatherOutcome is the shared result of one scatter-gather (or merged-
+// cache hit): everything any waiter needs to render a count or an
+// estimate response.
+type gatherOutcome struct {
+	count      int64
+	sumVersion uint64
+	live, p    int
+	firstErr   error // first partition error when live < p
+	fromCache  bool  // answered from the merged pin, no shard traffic
+}
+
+// flight is one in-progress gather and its eventual outcome.
+type flight struct {
+	done chan struct{}
+	out  gatherOutcome
+}
+
+// flightGroup deduplicates concurrent gathers per key — the
+// singleflight pattern, hand-rolled since the repo is stdlib-only.
+// Keys embed the partial-cache generation, so a flight can only be
+// joined by requests that observed the same mutation history.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// do returns fn's outcome for key, joining an identical in-progress
+// call instead of starting a second one. joined reports whether this
+// caller shared another flight's work.
+func (g *flightGroup) do(key string, fn func() gatherOutcome) (out gatherOutcome, joined bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.out, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.out = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.out, false
+}

@@ -91,6 +91,12 @@ func (rt *Router) Refresh(ctx context.Context) error {
 			m.partitions = p
 		}
 	}
+	// Membership (or shard content) may have changed under the pinned
+	// partials — rebalance moves partitions, adopts mint new partial-
+	// log epochs. Drop every pin; the next gather re-bases.
+	for _, m := range rt.graphs {
+		m.pc.clear()
+	}
 	if len(errs) > 0 {
 		return fmt.Errorf("refresh incomplete: %v", errs)
 	}

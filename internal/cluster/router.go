@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"slices"
@@ -44,8 +45,15 @@ type Config struct {
 	// the count degrades to the partition-sampling estimate. ≤ 0 means
 	// 15s.
 	PartialTimeout time.Duration
+	// MaxIdleConnsPerHost sizes the keep-alive pool to each shard on
+	// the default client. Scatter-gather fans out to every shard at
+	// once, so the net/http default of 2 idle connections per host
+	// forces most of the fan-out through fresh TCP handshakes; ≤ 0
+	// means 64. Ignored when Client is set.
+	MaxIdleConnsPerHost int
 	// Client is the HTTP client used to talk to shards; nil gets a
-	// client with a 2-minute overall timeout.
+	// client with a 2-minute overall timeout over a keep-alive-tuned
+	// transport (see MaxIdleConnsPerHost).
 	Client *http.Client
 }
 
@@ -65,8 +73,18 @@ func (c Config) withDefaults() Config {
 	if c.PartialTimeout <= 0 {
 		c.PartialTimeout = 15 * time.Second
 	}
+	if c.MaxIdleConnsPerHost <= 0 {
+		c.MaxIdleConnsPerHost = 64
+	}
 	if c.Client == nil {
-		c.Client = &http.Client{Timeout: 2 * time.Minute}
+		c.Client = &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * c.MaxIdleConnsPerHost,
+				MaxIdleConnsPerHost: c.MaxIdleConnsPerHost,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
 	}
 	return c
 }
@@ -78,6 +96,10 @@ type graphMeta struct {
 	partitions int // ≥ 2 for partitioned graphs
 	floor      atomic.Uint64
 	rr         atomic.Uint32
+
+	// pc pins partition partials and the merged count between
+	// mutations (partitioned graphs only; see partialcache.go).
+	pc partialCache
 }
 
 // Router is the bfserved cluster front door: an http.Handler serving
@@ -94,15 +116,22 @@ type Router struct {
 	ring   *Ring
 	graphs map[string]*graphMeta
 
+	// flights coalesces concurrent partitioned gathers per
+	// (graph, cache generation).
+	flights flightGroup
+
 	draining atomic.Bool
 
-	reg        *obsv.Registry
-	reqs       *obsv.CounterVec // route, code
-	shardReqs  *obsv.CounterVec // shard
-	shardSecs  *obsv.HistogramVec
-	shardErrs  *obsv.CounterVec // shard, kind
-	degraded   *obsv.CounterVec
-	rebalMoves *obsv.CounterVec
+	reg           *obsv.Registry
+	reqs          *obsv.CounterVec // route, code
+	shardReqs     *obsv.CounterVec // shard
+	shardSecs     *obsv.HistogramVec
+	shardErrs     *obsv.CounterVec // shard, kind
+	degraded      *obsv.CounterVec
+	rebalMoves    *obsv.CounterVec
+	partialHits   *obsv.CounterVec // kind: merged | delta | noop
+	partialMisses *obsv.CounterVec // reason: cold | full
+	coalesced     *obsv.CounterVec
 }
 
 // New builds a Router over cfg.Shards. It does not touch the network;
@@ -132,6 +161,9 @@ func New(cfg Config) (*Router, error) {
 	rt.shardErrs = rt.reg.Counter("bfrouter_shard_errors_total", "Forwarding failures by shard and kind.", "shard", "kind")
 	rt.degraded = rt.reg.Counter("bfrouter_degraded_total", "Scatter-gather answers degraded to the partition-sampling estimate.")
 	rt.rebalMoves = rt.reg.Counter("bfrouter_rebalance_moves_total", "Graphs relocated by /admin/rebalance.")
+	rt.partialHits = rt.reg.Counter("bfrouter_partial_cache_hits_total", "Partition partials served from router state: merged = no shard traffic at all, delta = changed keys only, noop = unchanged-partition revalidation.", "kind")
+	rt.partialMisses = rt.reg.Counter("bfrouter_partial_cache_misses_total", "Full partial-map transfers: cold = nothing pinned, full = shard could not serve a delta (history evicted or epoch changed).", "reason")
+	rt.coalesced = rt.reg.Counter("bfrouter_coalesced_total", "Partitioned count/estimate requests that joined another request's in-flight gather instead of starting their own.")
 	rt.routes()
 	return rt, nil
 }
@@ -266,9 +298,19 @@ type shardResp struct {
 	body   []byte
 }
 
-// forward issues one request to one shard, with cfg.Retries linear-
-// backoff retries on network errors. Non-2xx statuses are returned,
-// not retried — the caller decides which are worth another candidate.
+// retryDelay is the wait before retry `attempt` (≥ 1): linear backoff
+// with ±50% jitter. Without the jitter, a shard hiccup makes every
+// fanned-out gather goroutine retry in lockstep, re-spiking the shard
+// at exactly the moment it is trying to recover.
+func (rt *Router) retryDelay(attempt int) time.Duration {
+	base := rt.cfg.RetryBackoff * time.Duration(attempt)
+	return base/2 + rand.N(base)
+}
+
+// forward issues one request to one shard, with cfg.Retries jittered
+// linear-backoff retries on network errors. Non-2xx statuses are
+// returned, not retried — the caller decides which are worth another
+// candidate.
 func (rt *Router) forward(ctx context.Context, shard, method, pathQuery string, contentType string, floor uint64, body []byte) (*shardResp, error) {
 	var lastErr error
 	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
@@ -276,7 +318,7 @@ func (rt *Router) forward(ctx context.Context, shard, method, pathQuery string, 
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
-			case <-time.After(rt.cfg.RetryBackoff * time.Duration(attempt)):
+			case <-time.After(rt.retryDelay(attempt)):
 			}
 		}
 		req, err := http.NewRequestWithContext(ctx, method, shard+pathQuery, bytes.NewReader(body))

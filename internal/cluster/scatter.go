@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
@@ -29,6 +30,11 @@ import (
 	"butterfly/internal/obsv"
 	"butterfly/serveapi"
 )
+
+// partialEpochHeader mirrors serve.PartialEpochHeader: the shard's
+// partial-log activation token, pinned with the partials and echoed
+// back in `?epoch=`.
+const partialEpochHeader = "X-Bf-Partial-Epoch"
 
 // partHomes places the P partitions of a graph: partition i lives on
 // element i mod H of the graph's ring successor list, H = min(P,
@@ -52,15 +58,64 @@ type partialResult struct {
 	shard    string
 	version  uint64
 	partials []butterfly.WedgePartial
+	kind     string // full | delta | noop — how the map was obtained
 	err      error
 	elapsed  time.Duration
+}
+
+// fetchPartial fetches one partition's partial map. With a pinned copy
+// it asks for the delta since the pinned version and applies it;
+// without one (or when the shard answered with a full frame because
+// its history was evicted) it decodes the full map.
+func (rt *Router) fetchPartial(ctx context.Context, shard, pname string, cp *cachedPartial) (version, epoch uint64, partials []butterfly.WedgePartial, kind string, err error) {
+	path := "/v1/internal/partial/" + url.PathEscape(pname)
+	if cp != nil {
+		path += fmt.Sprintf("?since=%d&epoch=%d", cp.version, cp.epoch)
+	}
+	sr, err := rt.forward(ctx, shard, http.MethodGet, path, "", 0, nil)
+	if err != nil {
+		return 0, 0, nil, "", err
+	}
+	if sr.status != http.StatusOK {
+		return 0, 0, nil, "", fmt.Errorf("shard %s: status %d: %s", shard, sr.status, truncate(sr.body, 200))
+	}
+	epoch, _ = strconv.ParseUint(sr.header.Get(partialEpochHeader), 10, 64)
+	if serveapi.PartialFrameKind(sr.body) == serveapi.PartialFrameDelta {
+		from, to, delta, derr := serveapi.DecodePartialDelta(sr.body)
+		if derr == nil && (cp == nil || from != cp.version) {
+			derr = fmt.Errorf("shard %s: delta frame from v%d does not match pinned copy", shard, from)
+		}
+		var merged []butterfly.WedgePartial
+		if derr == nil {
+			merged, derr = butterfly.ApplyWedgePartialDelta(cp.partials, delta)
+		}
+		if derr != nil {
+			return 0, 0, nil, "", derr
+		}
+		kind = "delta"
+		if to == from {
+			kind = "noop"
+		}
+		if epoch == 0 {
+			epoch = cp.epoch
+		}
+		return to, epoch, merged, kind, nil
+	}
+	version, partials, err = serveapi.DecodePartial(sr.body)
+	if err != nil {
+		return 0, 0, nil, "", err
+	}
+	return version, epoch, partials, "full", nil
 }
 
 // gatherPartials fetches every partition's partial map concurrently,
 // each under its own PartialTimeout deadline, so one dead shard
 // delays the answer by at most the deadline rather than the client's
-// full patience.
-func (rt *Router) gatherPartials(ctx context.Context, name string, p int, homes []string) []partialResult {
+// full patience. Partitions with a pinned copy in pc sync by delta
+// (changed keys only — usually orders of magnitude smaller than the
+// map) and successful fetches re-pin, so steady-state gathers ship
+// almost no partial data.
+func (rt *Router) gatherPartials(ctx context.Context, name string, p int, homes []string, pc *partialCache) []partialResult {
 	results := make([]partialResult, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
@@ -71,22 +126,62 @@ func (rt *Router) gatherPartials(ctx context.Context, name string, p int, homes 
 			pctx, cancel := context.WithTimeout(ctx, rt.cfg.PartialTimeout)
 			defer cancel()
 			shard := homes[i]
-			path := "/v1/internal/partial/" + url.PathEscape(partName(name, i, p))
-			sr, err := rt.forward(pctx, shard, http.MethodGet, path, "", 0, nil)
-			res := partialResult{part: i, shard: shard}
-			if err == nil && sr.status != http.StatusOK {
-				err = fmt.Errorf("shard %s: status %d: %s", shard, sr.status, truncate(sr.body, 200))
+			pname := partName(name, i, p)
+			cp := pc.snapshot(i)
+			version, epoch, partials, kind, err := rt.fetchPartial(pctx, shard, pname, cp)
+			if err != nil && cp != nil && pctx.Err() == nil {
+				// A broken delta path (stale pin, frame the pin cannot
+				// absorb) must not read as a dead shard: drop the pin
+				// and fetch cold once.
+				version, epoch, partials, kind, err = rt.fetchPartial(pctx, shard, pname, nil)
 			}
+			res := partialResult{part: i, shard: shard, kind: kind, err: err}
 			if err == nil {
-				res.version, res.partials, err = serveapi.DecodePartial(sr.body)
+				res.version, res.partials = version, partials
+				pc.store(i, &cachedPartial{version: version, epoch: epoch, partials: partials})
+				switch {
+				case kind == "delta" || kind == "noop":
+					rt.partialHits.With(kind).Inc()
+				case cp == nil:
+					rt.partialMisses.With("cold").Inc()
+				default:
+					rt.partialMisses.With("full").Inc()
+				}
 			}
-			res.err = err
 			res.elapsed = time.Since(start)
 			results[i] = res
 		}(i)
 	}
 	wg.Wait()
 	return results
+}
+
+// gatherMerged answers one partitioned reduction, from the merged pin
+// when the graph is unchanged since the last all-live gather — a pure
+// metadata check, no shard traffic — and by (delta-synced) scatter-
+// gather otherwise. An all-live result re-pins the merged count under
+// the generation observed before the gather, so a racing mutation can
+// never be papered over by a stale pin.
+func (rt *Router) gatherMerged(ctx context.Context, name string, m *graphMeta, homes []string) gatherOutcome {
+	p := m.partitions
+	gen, mc, ok := m.pc.mergedSnapshot(p)
+	if ok {
+		rt.partialHits.With("merged").Inc()
+		return gatherOutcome{count: mc.count, sumVersion: mc.sumVersion, live: p, p: p, fromCache: true}
+	}
+	results := rt.gatherPartials(ctx, name, p, homes, &m.pc)
+	count, sumVersion, live := reduce(results)
+	out := gatherOutcome{count: count, sumVersion: sumVersion, live: live, p: p}
+	for _, res := range results {
+		if res.err != nil {
+			out.firstErr = res.err
+			break
+		}
+	}
+	if live == p {
+		m.pc.setMerged(gen, mergedCount{count: count, sumVersion: sumVersion})
+	}
+	return out
 }
 
 func truncate(b []byte, n int) string {
@@ -116,6 +211,9 @@ func scatterSpan(root *obsv.Span, results []partialResult) {
 	sp := root.Child("scatter")
 	for _, res := range results {
 		name := fmt.Sprintf("partial[%d] %s", res.part, res.shard)
+		if res.kind != "" {
+			name += " (" + res.kind + ")"
+		}
 		if res.err != nil {
 			name += " (failed)"
 		}
@@ -130,6 +228,11 @@ func scatterSpan(root *obsv.Span, results []partialResult) {
 // degrades to the partition-sampling estimate (X-Degraded:
 // partitions) instead of failing, and estimate reports the same
 // number as a first-class approximate answer.
+//
+// The fast path: concurrent requests coalesce onto one gather per
+// (graph, cache generation), and an unchanged graph answers straight
+// from the merged pin (X-Cache: merged) without touching a shard.
+// ?debug=true bypasses both — its purpose is to trace a real scatter.
 func (rt *Router) partitionedCount(w http.ResponseWriter, r *http.Request, name string, m *graphMeta, asEstimate bool) {
 	p := m.partitions
 	ring := rt.currentRing()
@@ -139,34 +242,58 @@ func (rt *Router) partitionedCount(w http.ResponseWriter, r *http.Request, name 
 		return
 	}
 	debug := r.URL.Query().Get("debug") == "true"
-	tr := obsv.NewTrace("request")
 	start := time.Now()
-	results := rt.gatherPartials(r.Context(), name, p, homes)
-	scatterSpan(tr.Root(), results)
 
-	msp := tr.Root().Child("merge")
-	count, sumVersion, live := reduce(results)
-	msp.End()
-	elapsed := time.Since(start).Milliseconds()
-
-	if live == 0 {
-		var first error
+	var out gatherOutcome
+	var tr *obsv.Trace
+	if debug {
+		tr = obsv.NewTrace("request")
+		gen := m.pc.generation()
+		results := rt.gatherPartials(r.Context(), name, p, homes, &m.pc)
+		scatterSpan(tr.Root(), results)
+		msp := tr.Root().Child("merge")
+		count, sumVersion, live := reduce(results)
+		msp.End()
+		out = gatherOutcome{count: count, sumVersion: sumVersion, live: live, p: p}
 		for _, res := range results {
 			if res.err != nil {
-				first = res.err
+				out.firstErr = res.err
 				break
 			}
 		}
+		if live == p {
+			m.pc.setMerged(gen, mergedCount{count: count, sumVersion: sumVersion})
+		}
+	} else {
+		// The gather outlives its leader's request context: a client
+		// that gives up must not fail the waiters it coalesced with.
+		// PartialTimeout still bounds every shard fetch.
+		gctx := context.WithoutCancel(r.Context())
+		key := fmt.Sprintf("%s|g%d", name, m.pc.generation())
+		var joined bool
+		out, joined = rt.flights.do(key, func() gatherOutcome {
+			return rt.gatherMerged(gctx, name, m, homes)
+		})
+		if joined {
+			rt.coalesced.With().Inc()
+		}
+	}
+	elapsed := time.Since(start).Milliseconds()
+
+	if out.live == 0 {
 		rt.writeErr(w, http.StatusServiceUnavailable, serveapi.CodeUnavailable,
-			fmt.Sprintf("all %d partitions unreachable: %v", p, first), 1000)
+			fmt.Sprintf("all %d partitions unreachable: %v", p, out.firstErr), 1000)
 		return
 	}
+	if out.fromCache {
+		w.Header().Set("X-Cache", "merged")
+	}
 
-	if live == p && !asEstimate {
+	if out.live == p && !asEstimate {
 		resp := &serveapi.CountResponse{
 			Graph:       name,
-			Version:     sumVersion,
-			Butterflies: count,
+			Version:     out.sumVersion,
+			Butterflies: out.count,
 			Partitions:  p,
 			ElapsedMS:   elapsed,
 		}
@@ -177,21 +304,21 @@ func (rt *Router) partitionedCount(w http.ResponseWriter, r *http.Request, name 
 		return
 	}
 
-	scale := float64(p) / float64(live)
+	scale := float64(p) / float64(out.live)
 	resp := &serveapi.EstimateResponse{
 		Graph:          name,
-		Version:        sumVersion,
+		Version:        out.sumVersion,
 		Strategy:       "partitions",
-		Estimate:       float64(count) * scale * scale,
-		Degraded:       live < p,
+		Estimate:       float64(out.count) * scale * scale,
+		Degraded:       out.live < p,
 		Partitions:     p,
-		PartitionsLive: live,
+		PartitionsLive: out.live,
 		ElapsedMS:      elapsed,
 	}
 	if debug {
 		resp.Trace = spanToAPI(tr.Snapshot())
 	}
-	if live < p {
+	if out.live < p {
 		rt.degraded.With().Inc()
 		w.Header().Set("X-Degraded", "partitions")
 	}
@@ -289,9 +416,12 @@ func (rt *Router) partitionedRegister(w http.ResponseWriter, r *http.Request, re
 			return
 		}
 	}
-	rt.ensureMeta(req.Name, p)
+	m := rt.ensureMeta(req.Name, p)
+	// A re-registration replaces partition content wholesale; anything
+	// pinned from the previous incarnation is garbage.
+	m.pc.clear()
 
-	results := rt.gatherPartials(r.Context(), req.Name, p, homes)
+	results := rt.gatherPartials(r.Context(), req.Name, p, homes, &m.pc)
 	count, sumVersion, live := reduce(results)
 	info := serveapi.GraphInfo{
 		Name:       req.Name,
@@ -363,8 +493,8 @@ func (rt *Router) partitionedInfo(w http.ResponseWriter, r *http.Request, name s
 			fmt.Sprintf("all %d partitions unreachable", p), 1000)
 		return
 	}
-	if count, _, live := reduce(rt.gatherPartials(r.Context(), name, p, homes)); live == p {
-		merged.Butterflies = count
+	if out := rt.gatherMerged(r.Context(), name, m, homes); out.live == p {
+		merged.Butterflies = out.count
 	}
 	if merged.NumV1 > 0 && merged.NumV2 > 0 {
 		merged.Density = float64(merged.NumEdges) / (float64(merged.NumV1) * float64(merged.NumV2))
@@ -461,10 +591,18 @@ func (rt *Router) partitionedMutate(w http.ResponseWriter, r *http.Request, name
 		}
 	}
 
-	count, sumVersion, live := reduce(rt.gatherPartials(r.Context(), name, p, homes))
-	total.Version = sumVersion
-	if live == p {
-		total.Count = count
+	// The graph changed: start a new cache generation (dropping the
+	// merged pin, keeping per-partition pins for delta revalidation)
+	// and re-reduce. Routing through the flight group lets counts
+	// arriving during the post-mutation gather share it.
+	m.pc.invalidate()
+	gctx := context.WithoutCancel(r.Context())
+	out, _ := rt.flights.do(fmt.Sprintf("%s|g%d", name, m.pc.generation()), func() gatherOutcome {
+		return rt.gatherMerged(gctx, name, m, homes)
+	})
+	total.Version = out.sumVersion
+	if out.live == p {
+		total.Count = out.count
 	}
 	var edges int64
 	for i := 0; i < p; i++ {

@@ -63,6 +63,128 @@ func WedgePartials(g *graph.Bipartite) []PairCount {
 	return out
 }
 
+// WedgePartialsOf returns the wedge partial restricted to the given
+// V1 centers: only wedges (v—u—w) with u ∈ centers contribute.
+// Duplicate and out-of-range centers are ignored. This is the delta
+// kernel's workhorse — a mutation batch touches a handful of centers,
+// and the partial-map change is exactly the difference of the touched
+// centers' contributions before and after, O(Σ_{u∈centers} C(deg u, 2))
+// instead of O(wedges).
+func WedgePartialsOf(g *graph.Bipartite, centers []int) []PairCount {
+	seen := make(map[int]struct{}, len(centers))
+	var wedges int64
+	for _, u := range centers {
+		if u < 0 || u >= g.NumV1() {
+			continue
+		}
+		if _, dup := seen[u]; dup {
+			continue
+		}
+		seen[u] = struct{}{}
+		d := int64(g.DegreeV1(u))
+		wedges += d * (d - 1) / 2
+	}
+	keys := make([]uint64, 0, wedges)
+	for u := range seen {
+		row := g.NeighborsOfV1(u)
+		for i, v := range row {
+			for _, w := range row[i+1:] {
+				keys = append(keys, uint64(v)<<32|uint64(uint32(w)))
+			}
+		}
+	}
+	slices.Sort(keys)
+	out := make([]PairCount, 0, len(keys)/2+1)
+	for i := 0; i < len(keys); {
+		j := i + 1
+		for j < len(keys) && keys[j] == keys[i] {
+			j++
+		}
+		out = append(out, PairCount{
+			V: int32(keys[i] >> 32),
+			W: int32(uint32(keys[i])),
+			C: int64(j - i),
+		})
+		i = j
+	}
+	return out
+}
+
+func pairKey(p PairCount) uint64 { return uint64(p.V)<<32 | uint64(uint32(p.W)) }
+
+// SumPartialDeltas merges sorted signed partial deltas by summing
+// counts per pair key and dropping entries that cancel to zero. It is
+// used both to compose consecutive per-version deltas (shard-side log
+// compaction for a `?since=` reply spanning several versions) and to
+// compute a diff: SumPartialDeltas(after, negate(before)).
+func SumPartialDeltas(parts ...[]PairCount) []PairCount {
+	idx := make([]int, len(parts))
+	var out []PairCount
+	for {
+		minKey := uint64(1)<<63 | uint64(1)<<62
+		live := false
+		for p, part := range parts {
+			if idx[p] < len(part) {
+				if k := pairKey(part[idx[p]]); !live || k < minKey {
+					minKey, live = k, true
+				}
+			}
+		}
+		if !live {
+			return out
+		}
+		var c int64
+		for p, part := range parts {
+			if idx[p] < len(part) && pairKey(part[idx[p]]) == minKey {
+				c += part[idx[p]].C
+				idx[p]++
+			}
+		}
+		if c != 0 {
+			out = append(out, PairCount{V: int32(minKey >> 32), W: int32(uint32(minKey)), C: c})
+		}
+	}
+}
+
+// DiffPartials returns the signed delta after − before over pair keys:
+// applying the result to `before` with ApplyPartialDelta reconstructs
+// `after` exactly. Both inputs must be sorted by (V, W); entries with
+// equal counts cancel out of the result.
+func DiffPartials(after, before []PairCount) []PairCount {
+	neg := make([]PairCount, len(before))
+	for i, p := range before {
+		neg[i] = PairCount{V: p.V, W: p.W, C: -p.C}
+	}
+	return SumPartialDeltas(after, neg)
+}
+
+// ApplyPartialDelta merges a signed delta into a (non-negative) base
+// partial, dropping pairs whose count reaches zero. A pair driven
+// negative means the delta does not belong to this base version — the
+// caller's pinned copy is stale or corrupt — and is reported as an
+// error rather than silently clamped.
+func ApplyPartialDelta(base, delta []PairCount) ([]PairCount, error) {
+	merged := SumPartialDeltas(base, delta)
+	for _, p := range merged {
+		if p.C < 0 {
+			return nil, &NegativePartialError{V: p.V, W: p.W, C: p.C}
+		}
+	}
+	return merged, nil
+}
+
+// NegativePartialError reports a delta application that drove a wedge
+// count below zero — the signal that the base partial and the delta
+// frame disagree about the starting version.
+type NegativePartialError struct {
+	V, W int32
+	C    int64
+}
+
+func (e *NegativePartialError) Error() string {
+	return "core: partial delta drove pair below zero"
+}
+
 // CountFromPartials merges sorted wedge partials (a k-way merge over
 // the pair keys) and applies Σ C(β, 2) — the distributed reduction
 // that turns per-partition exports into the exact global butterfly

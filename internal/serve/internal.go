@@ -27,6 +27,16 @@ const MinVersionHeader = "X-Bf-Min-Version"
 // (the partial export, whose body has no JSON envelope to put it in).
 const VersionHeader = "X-Bf-Version"
 
+// PartialEpochHeader carries the partial log's activation token on
+// partial responses. A router pins it with the partials and echoes it
+// in `?epoch=`, so a graph re-registered at a coincidentally matching
+// version can never satisfy a delta request from the wrong history.
+const PartialEpochHeader = "X-Bf-Partial-Epoch"
+
+// PartialKindHeader labels a partial response body "full" or "delta"
+// for human debugging; machine clients sniff the body magic instead.
+const PartialKindHeader = "X-Bf-Partial"
+
 // replicaBehindError reports a read floor this replica has not caught
 // up to; answers 503 with code replica_behind.
 type replicaBehindError struct {
@@ -61,13 +71,50 @@ func checkFloor(r *http.Request, snap *Snapshot) error {
 // handlePartial serves GET /v1/internal/partial/{name}: the graph's
 // V1-centered wedge partial map in the binary serveapi format. This
 // is the scatter half of cross-shard counting — the router merges the
-// partials of every partition and applies Σ C(β, 2). The computation
-// costs the same wedge work as a local count, so it runs under
-// admission control and its encoded body is cached per version like
-// any other query result.
+// partials of every partition and applies Σ C(β, 2).
+//
+// Two reply shapes. `?since=V&epoch=E` asks for the signed delta from
+// version V: when the maintained history (partiallog.go) covers
+// (V, current] under epoch E, the composed delta frame is served
+// straight from that state — no wedge enumeration, no admission slot.
+// Otherwise (history evicted, epoch mismatch, no since) the full map
+// is exported: the same wedge work as a local count, so it runs under
+// admission control and its encoded body is cached per version — a
+// full export also activates delta maintenance so later syncs go by
+// delta. The cache key includes the resolved aggregation mode
+// (`?agg=`), so a shard restarted under a different default policy
+// never aliases an old entry.
 func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 	st := stateOf(r)
 	root := st.root()
+	q := r.URL.Query()
+
+	agg := butterfly.AggAuto
+	if a := q.Get("agg"); a != "" {
+		pol, err := butterfly.ParseAggPolicy(a)
+		if err != nil {
+			s.writeError(w, r, badReqf("unknown aggregation mode %q (want auto|sort|hash|hist|batch)", a))
+			return
+		}
+		agg = pol
+	}
+	var since, epoch uint64
+	if v := q.Get("since"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil || u == 0 {
+			s.writeError(w, r, badReqf("invalid since version %q", v))
+			return
+		}
+		since = u
+	}
+	if v := q.Get("epoch"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeError(w, r, badReqf("invalid epoch %q", v))
+			return
+		}
+		epoch = u
+	}
 
 	rsp := root.Child("registry")
 	snap, err := s.reg.Get(r.PathValue("name"))
@@ -81,22 +128,52 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cacheKey := fmt.Sprintf("%s|%s|v%d|partial", st.api, snap.Name, snap.Version)
-	writeBody := func(body []byte, cache string) {
+	writeBody := func(body []byte, cache, kind string, version, ep uint64) {
 		wsp := root.Child("render")
 		w.Header().Set("X-Cache", cache)
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set(VersionHeader, strconv.FormatUint(snap.Version, 10))
+		w.Header().Set(VersionHeader, strconv.FormatUint(version, 10))
+		w.Header().Set(PartialKindHeader, kind)
+		if ep != 0 {
+			w.Header().Set(PartialEpochHeader, strconv.FormatUint(ep, 10))
+		}
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(body)
 		wsp.End()
 	}
+
+	if since > 0 {
+		dsp := root.Child("delta")
+		delta, ok := s.reg.PartialDeltaSince(snap.Name, epoch, since, snap.Version)
+		dsp.End()
+		if ok {
+			writeBody(serveapi.EncodePartialDelta(since, snap.Version, delta),
+				"none", serveapi.PartialFrameDelta, snap.Version, epoch)
+			return
+		}
+		// History does not reach back to `since`: fall through to the
+		// full map, which re-bases the client.
+	}
+
+	// Activate delta maintenance and pin the activation snapshot: its
+	// version is exactly the log's base, so a client holding this full
+	// map can sync every later version by delta.
+	esp := root.Child("activate")
+	snap, logEpoch, err := s.reg.EnablePartialLog(snap.Name)
+	esp.End()
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	resolved := snap.Graph.ResolvedAgg(butterfly.CountOptions{Agg: agg}).String()
+
+	cacheKey := fmt.Sprintf("%s|%s|v%d|partial|agg=%s", st.api, snap.Name, snap.Version, resolved)
 	if !st.debug {
 		csp := root.Child("cache")
 		body, ok := s.cache.get(cacheKey)
 		csp.End()
 		if ok {
-			writeBody(body, "hit")
+			writeBody(body, "hit", serveapi.PartialFrameFull, snap.Version, logEpoch)
 			return
 		}
 	}
@@ -133,7 +210,7 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 	if !st.debug {
 		s.cache.put(cacheKey, body)
 	}
-	writeBody(body, "miss")
+	writeBody(body, "miss", serveapi.PartialFrameFull, snap.Version, logEpoch)
 }
 
 // handleExport serves GET /v1/internal/export/{name}: the graph's

@@ -67,6 +67,11 @@ type entry struct {
 	mu  sync.Mutex
 	dyn *butterfly.DynamicCounter
 
+	// plog, when non-nil, is the wedge-partial delta history (see
+	// partiallog.go). Guarded by mu; nil until the first partial
+	// export activates it.
+	plog *partialLog
+
 	// snap is the atomically published current version.
 	snap atomic.Pointer[Snapshot]
 }
@@ -372,6 +377,9 @@ func (r *Registry) MutateObserved(name string, inserts, deletes [][2]int, stage 
 	// Ops that actually changed the edge set, kept for rollback if the
 	// WAL append fails: memory must never run ahead of the log.
 	var applied [][3]int // (u, v, 0=inserted 1=deleted)
+	// V1 centers whose rows actually changed — the wedge-delta kernel's
+	// input when the partial log is active.
+	var touched []int
 	for _, op := range inserts {
 		added, created, err := e.dyn.InsertEdge(op[0], op[1])
 		if err != nil {
@@ -382,6 +390,9 @@ func (r *Registry) MutateObserved(name string, inserts, deletes [][2]int, stage 
 			res.Created += created
 			if r.persist != nil {
 				applied = append(applied, [3]int{op[0], op[1], 0})
+			}
+			if e.plog != nil {
+				touched = append(touched, op[0])
 			}
 		}
 	}
@@ -395,6 +406,9 @@ func (r *Registry) MutateObserved(name string, inserts, deletes [][2]int, stage 
 			res.Destroyed += destroyed
 			if r.persist != nil {
 				applied = append(applied, [3]int{op[0], op[1], 1})
+			}
+			if e.plog != nil {
+				touched = append(touched, op[0])
 			}
 		}
 	}
@@ -435,6 +449,15 @@ func (r *Registry) MutateObserved(name string, inserts, deletes [][2]int, stage 
 		Count:   e.dyn.Count(),
 	}
 	e.snap.Store(next)
+
+	// Record the batch's signed partial-map change, computed over just
+	// the touched centers — O(affected wedges), not O(graph). Appending
+	// after the publish keeps the log's versions aligned with what
+	// readers can observe; the WAL-rollback path above never reaches
+	// here, so the history never contains an unacked batch.
+	if e.plog != nil {
+		e.plog.append(next.Version, butterfly.WedgePartialDelta(prev.Graph, next.Graph, touched))
+	}
 
 	res.Version = next.Version
 	res.Count = next.Count

@@ -28,6 +28,61 @@ func (g *Graph) WedgePartials() []WedgePartial {
 	return out
 }
 
+func partialsToCore(ps []WedgePartial) []core.PairCount {
+	out := make([]core.PairCount, len(ps))
+	for i, p := range ps {
+		out[i] = core.PairCount{V: p.V, W: p.W, C: p.Count}
+	}
+	return out
+}
+
+func partialsFromCore(ps []core.PairCount) []WedgePartial {
+	out := make([]WedgePartial, len(ps))
+	for i, p := range ps {
+		out[i] = WedgePartial{V: p.V, W: p.W, Count: p.C}
+	}
+	return out
+}
+
+// WedgePartialDelta returns the signed change in the wedge partial map
+// between two versions of a graph whose mutations touched only the
+// given V1 centers: ApplyWedgePartialDelta(before.WedgePartials(), Δ)
+// reconstructs after.WedgePartials() exactly. Cost is proportional to
+// the touched centers' wedge counts in both versions, not the graph —
+// the incremental-maintenance kernel behind `/v1/internal/partial?since=`.
+// Entries may carry negative counts (wedges destroyed by deletions).
+func WedgePartialDelta(before, after *Graph, centers []int) []WedgePartial {
+	d := core.DiffPartials(
+		core.WedgePartialsOf(after.g, centers),
+		core.WedgePartialsOf(before.g, centers),
+	)
+	return partialsFromCore(d)
+}
+
+// SumWedgePartialDeltas composes sorted signed deltas by summing
+// counts per pair key, dropping pairs that cancel to zero — used to
+// collapse a run of consecutive per-version deltas into one frame.
+func SumWedgePartialDeltas(deltas ...[]WedgePartial) []WedgePartial {
+	cs := make([][]core.PairCount, len(deltas))
+	for i, d := range deltas {
+		cs[i] = partialsToCore(d)
+	}
+	return partialsFromCore(core.SumPartialDeltas(cs...))
+}
+
+// ApplyWedgePartialDelta merges a signed delta into a base partial
+// map, dropping pairs that reach zero. It errors if any pair would go
+// negative — the base does not match the delta's starting version —
+// so callers (the cluster router) can fall back to a full re-fetch
+// instead of propagating a corrupt merge.
+func ApplyWedgePartialDelta(base, delta []WedgePartial) ([]WedgePartial, error) {
+	merged, err := core.ApplyPartialDelta(partialsToCore(base), partialsToCore(delta))
+	if err != nil {
+		return nil, err
+	}
+	return partialsFromCore(merged), nil
+}
+
 // MergeWedgePartials reduces sorted wedge partials — typically one per
 // V1 partition of a graph — to the exact butterfly count of the union:
 // a k-way merge over pair keys followed by Σ C(β, 2). With a single

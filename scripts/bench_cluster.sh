@@ -3,13 +3,14 @@
 # bfserved, measures bfload throughput on two stand-in graphs, then
 # boots 2 shards + a router and measures the same workloads through
 # the router — both proxied (unpartitioned) and scatter-gathered
-# (partitions=2) — and writes BENCH_PR8.json combining the numbers
-# with the router's per-shard distribution stats.
+# (partitions=2) — and writes BENCH_PR9.json combining the numbers
+# with the router's per-shard distribution stats and the partitioned
+# fast path's partial-cache / coalescing counters.
 #
-# Usage: scripts/bench_cluster.sh [out.json]   (default BENCH_PR8.json)
+# Usage: scripts/bench_cluster.sh [out.json]   (default BENCH_PR9.json)
 set -euo pipefail
 
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR9.json}"
 SINGLE="${SINGLE:-127.0.0.1:18085}"
 ROUTER="${ROUTER:-127.0.0.1:18086}"
 SHARD1="${SHARD1:-127.0.0.1:18087}"
@@ -85,7 +86,7 @@ import json, os
 
 tmp = os.environ["TMPDIR_FOR_PY"]
 out = {
-    "schema": "bench_cluster/v1",
+    "schema": "bench_cluster/v2",
     "requests": int(os.environ["N_FOR_PY"]),
     "concurrency": int(os.environ["C_FOR_PY"]),
     "mix": os.environ["MIX_FOR_PY"],
@@ -109,6 +110,10 @@ for g in ["github", "occupations"]:
         "proxied_cluster": router.get("cluster"),
         "partitioned_cluster": parts.get("cluster"),
     }
+    pr = (parts.get("cluster") or {}).get("router")
+    if pr:
+        row["partial_cache_hit_rate"] = pr["partial_cache_hit_rate"]
+        row["coalesced_rate"] = pr["coalesced_rate"]
     out["graphs"].append(row)
 with open(os.environ["OUT_FOR_PY"], "w") as f:
     json.dump(out, f, indent=2)

@@ -2,12 +2,16 @@
 # Cluster smoke: boot 2 durable shards + 1 router, register the same
 # dataset both unpartitioned ("solo") and hash-partitioned across the
 # shards ("parts"), and require the scatter-gather count to equal the
-# single-home count. Then drive mixed bfload traffic through the
-# router, kill -9 one shard mid-run, assert the partitioned count
-# degrades honestly (200 + "degraded":true, never a silently wrong
-# exact answer), restart the shard over the same -data-dir (WAL
-# replay), and require every count to come back exact and identical to
-# the pre-crash baseline — zero wrong counts across the whole episode.
+# single-home count — including after an identical mutation batch is
+# applied to both copies (delta-sync replay agreement). Then drive
+# mixed bfload traffic through the router and kill -9 one shard
+# mid-run: the unchanged partitioned graph must keep answering exactly
+# from the router's merged pin (X-Cache: merged), while a forced
+# scatter (?debug=true) must degrade honestly (200 + "degraded":true,
+# never a silently wrong exact answer). Finally restart the shard over
+# the same -data-dir (WAL replay) and require every count to come back
+# exact and identical to the pre-crash baseline — zero wrong counts
+# across the whole episode.
 #
 # Used by `make cluster-smoke` and the CI cluster-smoke job. Needs
 # only curl + standard shell tools.
@@ -85,6 +89,26 @@ if [ "$(field "$SOLO0" butterflies)" != "$(field "$PARTS0" butterflies)" ]; then
   exit 1
 fi
 
+echo "== mutate both copies identically, counts must track the replay"
+MUTATION='{"inserts":[[0,0],[0,1],[1,0],[1,1],[2,2],[3,3]],"deletes":[[0,2],[4,4]]}'
+MSOLO=$(curl -sf -X POST "http://$ROUTER/v1/graphs/solo/mutate" -d "$MUTATION")
+MPARTS=$(curl -sf -X POST "http://$ROUTER/v1/graphs/parts/mutate" -d "$MUTATION")
+echo "   solo:  $MSOLO"
+echo "   parts: $MPARTS"
+SOLO0=$(curl -sf -X POST "http://$ROUTER/v1/graphs/solo/count" -d '{}')
+PARTS0=$(curl -sf -X POST "http://$ROUTER/v1/graphs/parts/count" -d '{}')
+if [ "$(field "$SOLO0" butterflies)" != "$(field "$PARTS0" butterflies)" ]; then
+  echo "FAIL: post-mutation scatter-gather count differs from single-node replay:" >&2
+  echo "  solo=$SOLO0 parts=$PARTS0" >&2
+  exit 1
+fi
+# The same mutation batch must also report the same resulting count in
+# the mutate response itself.
+if [ "$(field "$MSOLO" count)" != "$(field "$MPARTS" count)" ]; then
+  echo "FAIL: mutate responses disagree: solo=$MSOLO parts=$MPARTS" >&2
+  exit 1
+fi
+
 echo "== mixed load through the router (all shards up, no 5xx allowed)"
 "$LOAD" -addr "$ROUTER" -graph solo -no-register -n 400 -c 8 \
   -mix count=3,estimate=1 -cluster "http://$SHARD1,http://$SHARD2"
@@ -98,12 +122,25 @@ kill -9 "$S2"
 wait "$S2" 2>/dev/null || true
 wait "$LOADPID"
 
-# The partitioned graph lost a shard: the router must answer 200 with
+# The partitioned graph lost a shard, but it is unchanged since the
+# last gather: the version-pinned merged count keeps answering exactly
+# without touching a shard (X-Cache: merged).
+PIN=$(curl -sf -i -X POST "http://$ROUTER/v1/graphs/parts/count" -d '{}')
+echo "   pinned: $(printf '%s' "$PIN" | tail -1)"
+printf '%s' "$PIN" | grep -qi '^x-cache: merged' || {
+  echo "FAIL: count with a dead shard not served from the merged pin: $PIN" >&2
+  exit 1
+}
+if [ "$(field "$(printf '%s' "$PIN" | tail -1)" butterflies)" != "$(field "$PARTS0" butterflies)" ]; then
+  echo "FAIL: pinned count diverged from the pre-crash answer: $PIN" >&2
+  exit 1
+fi
+# A real scatter (?debug=true bypasses the pin) must answer 200 with
 # an explicitly degraded estimate, not a silently wrong exact count.
-DEG=$(curl -sf -X POST "http://$ROUTER/v1/graphs/parts/count" -d '{}')
+DEG=$(curl -sf -X POST "http://$ROUTER/v1/graphs/parts/count?debug=true" -d '{}')
 echo "   degraded: $DEG"
 echo "$DEG" | grep -q '"degraded":true' || {
-  echo "FAIL: count with a dead shard not marked degraded: $DEG" >&2
+  echo "FAIL: scatter with a dead shard not marked degraded: $DEG" >&2
   exit 1
 }
 echo "$DEG" | grep -q '"strategy":"partitions"' || {
