@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt test race bench tables verify examples cover clean smoke crash-smoke cluster-smoke bench-cluster
+.PHONY: all build vet fmt test race bench tables verify examples cover clean smoke crash-smoke cluster-smoke bench-cluster qos-smoke
 
 all: build vet test
 
@@ -74,6 +74,12 @@ cluster-smoke:
 # Router-mode vs single-node throughput comparison (writes BENCH_PR9.json).
 bench-cluster:
 	./scripts/bench_cluster.sh
+
+# Local mirror of the CI qos-smoke job: two tenants at 4:1 weights under
+# saturating load must split scheduler grants ~4:1, and a batch-lane
+# flood must leave interactive p99 within 2x solo (writes BENCH_PR10.json).
+qos-smoke:
+	./scripts/qos_smoke.sh
 
 clean:
 	rm -f bench_output.txt test_output.txt bfserved bfload

@@ -91,6 +91,8 @@ type Client struct {
 	base      string
 	fallbacks []string
 	http      *http.Client
+	tenant    string
+	priority  string
 }
 
 // Option customizes a Client.
@@ -100,6 +102,33 @@ type Option func(*Client)
 // transports, client-side timeouts).
 func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.http = h }
+}
+
+// WithTenant stamps every request with the X-Bf-Tenant header, so the
+// server charges it to that tenant's QoS budget. Names not present in
+// the server's tenant config are charged as the default tenant; the
+// response echoes the tenant the server actually resolved. A tenant or
+// priority set in a request body wins over the client-level value.
+func WithTenant(tenant string) Option {
+	return func(c *Client) { c.tenant = tenant }
+}
+
+// WithPriority stamps every request with the X-Bf-Priority header:
+// "interactive" (the default lane) or "batch". Batch requests are only
+// dispatched while no interactive request is queued, so bulk loads can
+// saturate the server without pushing latency onto interactive users.
+func WithPriority(priority string) Option {
+	return func(c *Client) { c.priority = priority }
+}
+
+// qosHeaders stamps the client-level tenant and priority on a request.
+func (c *Client) qosHeaders(h http.Header) {
+	if c.tenant != "" {
+		h.Set(serveapi.TenantHeader, c.tenant)
+	}
+	if c.priority != "" {
+		h.Set(serveapi.PriorityHeader, c.priority)
+	}
 }
 
 // BaseURL returns the server base URL this client talks to.
@@ -204,6 +233,7 @@ func (c *Client) roundTrip(ctx context.Context, base, method, path string, in, o
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.qosHeaders(req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -355,6 +385,7 @@ func (c *Client) CountOrEstimate(ctx context.Context, graph string, req serveapi
 		return nil, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.qosHeaders(hreq.Header)
 	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return nil, nil, err
@@ -402,6 +433,7 @@ func (c *Client) IngestAppend(ctx context.Context, name string, edges [][2]int) 
 		return resp, err
 	}
 	hreq.Header.Set("Content-Type", "application/x-ndjson")
+	c.qosHeaders(hreq.Header)
 	hresp, err := c.http.Do(hreq)
 	if err != nil {
 		return resp, err

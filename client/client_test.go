@@ -28,7 +28,7 @@ func fakeNode(t *testing.T, role string, unavailable *atomic.Bool) *httptest.Ser
 			}})
 			return
 		}
-		_ = json.NewEncoder(w).Encode(serveapi.CountResponse{Graph: r.PathValue("name"), Butterflies: 42, Version: 1})
+		_ = json.NewEncoder(w).Encode(serveapi.CountResponse{ResultMeta: serveapi.ResultMeta{Graph: r.PathValue("name"), Version: 1}, Butterflies: 42})
 	})
 	ts := httptest.NewServer(mux)
 	t.Cleanup(ts.Close)
@@ -100,5 +100,56 @@ func TestRetryAfterSurfacedOn503(t *testing.T) {
 	}
 	if ae.Code != serveapi.CodeUnavailable {
 		t.Errorf("Code = %q, want %q", ae.Code, serveapi.CodeUnavailable)
+	}
+}
+
+// TestQoSHeadersInjected: WithTenant/WithPriority stamp every request
+// path — JSON round trips, the degrade path, and NDJSON ingest.
+func TestQoSHeadersInjected(t *testing.T) {
+	type seen struct{ tenant, priority string }
+	var got []seen
+	mux := http.NewServeMux()
+	record := func(r *http.Request) {
+		got = append(got, seen{r.Header.Get(serveapi.TenantHeader), r.Header.Get(serveapi.PriorityHeader)})
+	}
+	mux.HandleFunc("POST /v1/graphs/{name}/count", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		_ = json.NewEncoder(w).Encode(serveapi.CountResponse{Butterflies: 1})
+	})
+	mux.HandleFunc("POST /v1/ingest/{name}/edges", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		_ = json.NewEncoder(w).Encode(serveapi.IngestResponse{})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	c := New(ts.URL, WithTenant("acme"), WithPriority("batch"))
+	ctx := context.Background()
+	if _, err := c.Count(ctx, "g", serveapi.CountRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CountOrEstimate(ctx, "g", serveapi.CountRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.IngestAppend(ctx, "g", [][2]int{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("recorded %d requests, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.tenant != "acme" || s.priority != "batch" {
+			t.Errorf("request %d: tenant=%q priority=%q", i, s.tenant, s.priority)
+		}
+	}
+
+	// An unconfigured client sends neither header.
+	got = nil
+	plain := New(ts.URL)
+	if _, err := plain.Count(ctx, "g", serveapi.CountRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if got[0].tenant != "" || got[0].priority != "" {
+		t.Errorf("plain client leaked QoS headers: %+v", got[0])
 	}
 }

@@ -107,6 +107,14 @@ type report struct {
 	// Cluster reports per-shard request distribution and p99 skew,
 	// present only with -cluster (see cluster.go).
 	Cluster *clusterReport `json:"cluster,omitempty"`
+	// TenantMix echoes -tenant-mix; Tenants carries per-tenant
+	// admission and latency, present with -tenant-mix or a -replay
+	// trace naming tenants. The map key is the tenant name the client
+	// sent (which the server may have collapsed to "default").
+	TenantMix string                   `json:"tenant_mix,omitempty"`
+	Tenants   map[string]*tenantReport `json:"tenants,omitempty"`
+	// Replayed is the trace file driven by -replay, if any.
+	Replayed string `json:"replayed,omitempty"`
 }
 
 // accuracySummary is the per-run estimate accuracy report: relative
@@ -156,6 +164,10 @@ func run(args []string, out io.Writer) error {
 		reservoir  = fs.Int("reservoir", 0, "reservoir capacity for -ingest (0 = server default)")
 		clusterStr = fs.String("cluster", "", "comma-separated shard base URLs: scrape each shard's /metrics around the run and report per-shard request share and p99 skew (-addr should be the router)")
 		partitions = fs.Int("partitions", 0, "register -graph hash-partitioned across this many shards (router only)")
+		tenantMix  = fs.String("tenant-mix", "", "comma-separated tenant:priority:weight shares (e.g. gold:interactive:4,bulk:batch:1): issue the op mix under per-tenant QoS identities and report per-tenant admission and latency (see docs/QOS.md)")
+		recordPath = fs.String("record", "", "write one {op,tenant,priority} JSON line per request to this file, replayable with -replay")
+		replayPath = fs.String("replay", "", "replay a -record JSONL trace (cycling it to -n requests) instead of sampling -mix/-tenant-mix")
+		unique     = fs.Bool("unique", false, "vary request parameters per request to defeat the result cache (family counts still coalesce by design)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -167,12 +179,23 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tenants, err := parseTenantMix(*tenantMix)
+	if err != nil {
+		return err
+	}
+	var trace []traceEntry
+	if *replayPath != "" {
+		if trace, err = loadTrace(*replayPath); err != nil {
+			return err
+		}
+	}
 
 	base := *addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
 	cl := client.New(base)
+	clients := newClientCache(base, cl)
 	ctx := context.Background()
 
 	switch {
@@ -229,11 +252,16 @@ func run(args []string, out io.Writer) error {
 		byStatus  = map[string]int{}
 		opLatSum  = map[string]float64{}
 		relErrs   []float64
+		tallies   = map[string]*tenantTally{}
+		recorded  []traceEntry
 		fiveXX    atomic.Int64
 		retried   atomic.Int64
 		next      atomic.Int64
 		wg        sync.WaitGroup
 	)
+	if *recordPath != "" {
+		recorded = make([]traceEntry, *n)
+	}
 	// Estimate accuracy is meaningful only while the exact count stays
 	// fixed, so it is tracked unless the mix mutates the graph.
 	trackAccuracy := weights[opMutate] == 0 && info.Butterflies > 0
@@ -255,7 +283,24 @@ func run(args []string, out io.Writer) error {
 				if i >= *n {
 					return
 				}
-				op := pickOp(rng, weights)
+				var op opKind
+				var tenant, prio string
+				if trace != nil {
+					e := trace[i%len(trace)]
+					op, _ = opFromName(e.Op) // validated at load
+					tenant, prio = e.Tenant, e.Priority
+				} else {
+					op = pickOp(rng, weights)
+					if len(tenants) > 0 {
+						ts := pickTenant(rng, tenants)
+						tenant, prio = ts.name, ts.priority
+					}
+				}
+				tcl := clients.get(tenant, prio)
+				seq := -1
+				if *unique {
+					seq = i
+				}
 				var (
 					status  int
 					retryMS int64
@@ -265,7 +310,7 @@ func run(args []string, out io.Writer) error {
 				)
 				for attempt := 0; ; attempt++ {
 					t0 := time.Now()
-					status, retryMS, est, isEst = doOp(ctx, cl, *graph, info, op, rng, *timeoutMS)
+					status, retryMS, est, isEst = doOp(ctx, tcl, *graph, info, op, rng, *timeoutMS, seq)
 					dt = time.Since(t0).Seconds() * 1000
 					if status != 429 || !*retry429 || attempt >= 3 {
 						break
@@ -281,11 +326,38 @@ func run(args []string, out io.Writer) error {
 					fiveXX.Add(1)
 				}
 				opHist[op].Observe(dt / 1000)
+				if recorded != nil {
+					recorded[i] = traceEntry{Op: opNames[op], Tenant: tenant, Priority: prio}
+				}
 				mu.Lock()
 				latencies = append(latencies, dt)
 				byOp[opNames[op]]++
 				byStatus[strconv.Itoa(status)]++
 				opLatSum[opNames[op]] += dt
+				if tenant != "" || len(tenants) > 0 || trace != nil {
+					label := tenant
+					if label == "" {
+						label = "default"
+					}
+					tt := tallies[label]
+					if tt == nil {
+						tt = newTenantTally()
+						tallies[label] = tt
+					}
+					tt.requests++
+					switch {
+					case status == 200:
+						tt.ok++
+					case status == 429:
+						tt.s429++
+					}
+					// Latency percentiles cover admitted requests only:
+					// mixing sub-millisecond 429s in would make a tenant
+					// look faster the harder it is being shed.
+					if status == 200 {
+						tt.hist.Observe(dt / 1000)
+					}
+				}
 				if isEst && status == 200 && trackAccuracy {
 					re := (est - float64(info.Butterflies)) / float64(info.Butterflies)
 					if re < 0 {
@@ -339,6 +411,26 @@ func run(args []string, out io.Writer) error {
 			P99: h.Quantile(0.99) * 1000,
 		}
 	}
+	rep.TenantMix = *tenantMix
+	rep.Replayed = *replayPath
+	if len(tallies) > 0 {
+		totalOK := 0
+		for _, tt := range tallies {
+			totalOK += tt.ok
+		}
+		rep.Tenants = map[string]*tenantReport{}
+		for name, tt := range tallies {
+			tr := &tenantReport{
+				Requests: tt.requests, OK: tt.ok, Status429: tt.s429,
+				P50MS: tt.hist.Quantile(0.50) * 1000,
+				P99MS: tt.hist.Quantile(0.99) * 1000,
+			}
+			if totalOK > 0 {
+				tr.AdmitShare = float64(tt.ok) / float64(totalOK)
+			}
+			rep.Tenants[name] = tr
+		}
+	}
 	if len(shardURLs) > 0 {
 		rep.Cluster = clusterSection(shardURLs, beforeSamples, scrapeAll(ctx, scrapeClient, shardURLs, out))
 		if routerScraped {
@@ -384,6 +476,19 @@ func run(args []string, out io.Writer) error {
 	if rep.Retries429 > 0 {
 		fmt.Fprintf(out, "  retried %d shed request(s) after retry_after_ms\n", rep.Retries429)
 	}
+	if len(rep.Tenants) > 0 {
+		names := make([]string, 0, len(rep.Tenants))
+		for name := range rep.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(out, "per-tenant admission:")
+		for _, name := range names {
+			tr := rep.Tenants[name]
+			fmt.Fprintf(out, "  %-12s %6d req, %6d ok (%.1f%% of admits), %5d x429, p50≈%.2f ms p99≈%.2f ms\n",
+				name, tr.Requests, tr.OK, tr.AdmitShare*100, tr.Status429, tr.P50MS, tr.P99MS)
+		}
+	}
 	if rep.EstimateAccuracy != nil {
 		a := rep.EstimateAccuracy
 		fmt.Fprintf(out, "  estimate accuracy: %d answers vs exact %d, mean rel err %.2f%%, max %.2f%%\n",
@@ -405,6 +510,13 @@ func run(args []string, out io.Writer) error {
 				rs.PartialCacheHits, rs.PartialCacheMisses, rs.PartialCacheHitRate*100,
 				rs.Coalesced, rs.CoalescedRate*100)
 		}
+	}
+
+	if recorded != nil {
+		if err := writeTrace(*recordPath, recorded); err != nil {
+			return fmt.Errorf("write -record trace: %w", err)
+		}
+		fmt.Fprintf(out, "recorded %d requests to %s\n", len(recorded), *recordPath)
 	}
 
 	if *jsonOut != "" {
@@ -443,8 +555,22 @@ func run(args []string, out io.Writer) error {
 // server's retry_after_ms backoff hint, nonzero only on 429; the last
 // two carry the answer of a successful estimate op for the accuracy
 // report.
-func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.GraphInfo, op opKind, rng *rand.Rand, timeoutMS int) (int, int64, float64, bool) {
+//
+// seq ≥ 0 (-unique) varies the cacheable request parameters per
+// request so every op misses the result cache — the load then
+// exercises admission and the kernels instead of the LRU. Counts keep
+// their shape regardless: the family's count answers are equivalent,
+// so identical concurrent counts coalesce by design.
+func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.GraphInfo, op opKind, rng *rand.Rand, timeoutMS, seq int) (int, int64, float64, bool) {
 	var err error
+	top := 20
+	estSeed := rng.Int63n(16)
+	peelK := int64(1 + rng.Intn(4))
+	if seq >= 0 {
+		top = 1 + seq%997
+		estSeed = int64(seq)
+		peelK = int64(1 + seq%13)
+	}
 	switch op {
 	case opCount:
 		_, err = cl.Count(ctx, graph, serveapi.CountRequest{
@@ -454,21 +580,21 @@ func doOp(ctx context.Context, cl *client.Client, graph string, info serveapi.Gr
 		})
 	case opVertex:
 		_, err = cl.VertexCounts(ctx, graph, serveapi.VertexCountsRequest{
-			Side: []string{"v1", "v2"}[rng.Intn(2)], Top: 20, TimeoutMillis: timeoutMS,
+			Side: []string{"v1", "v2"}[rng.Intn(2)], Top: top, TimeoutMillis: timeoutMS,
 		})
 	case opEdges:
-		_, err = cl.EdgeSupports(ctx, graph, serveapi.EdgeSupportsRequest{Top: 20, TimeoutMillis: timeoutMS})
+		_, err = cl.EdgeSupports(ctx, graph, serveapi.EdgeSupportsRequest{Top: top, TimeoutMillis: timeoutMS})
 	case opEstimate:
 		var est serveapi.EstimateResponse
 		est, err = cl.Estimate(ctx, graph, serveapi.EstimateRequest{
-			Strategy: "edges", Samples: 500, Seed: rng.Int63n(16), TimeoutMillis: timeoutMS,
+			Strategy: "edges", Samples: 500, Seed: estSeed, TimeoutMillis: timeoutMS,
 		})
 		if err == nil {
 			return 200, 0, est.Estimate, true
 		}
 	case opPeel:
 		_, err = cl.Peel(ctx, graph, serveapi.PeelRequest{
-			Mode: "tip", K: int64(1 + rng.Intn(4)), Side: "v1", Threads: -1, TimeoutMillis: timeoutMS,
+			Mode: "tip", K: peelK, Side: "v1", Threads: -1, TimeoutMillis: timeoutMS,
 		})
 	case opMutate:
 		ins := make([][2]int, 2)

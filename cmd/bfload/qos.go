@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"butterfly/client"
+	"butterfly/internal/obsv"
+)
+
+// tenantSpec is one entry of -tenant-mix: requests are issued under
+// this tenant and priority lane, in proportion to weight.
+type tenantSpec struct {
+	name     string
+	priority string
+	weight   int
+}
+
+// parseTenantMix parses "gold:interactive:4,bronze:batch:1". An empty
+// priority segment ("gold::4") means the server default (interactive).
+func parseTenantMix(s string) ([]tenantSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("bad -tenant-mix entry %q (want tenant:priority:weight)", part)
+		}
+		w, err := strconv.Atoi(fields[2])
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -tenant-mix weight in %q", part)
+		}
+		if p := fields[1]; p != "" && p != "interactive" && p != "batch" {
+			return nil, fmt.Errorf("bad -tenant-mix priority %q (want interactive|batch)", p)
+		}
+		out = append(out, tenantSpec{name: fields[0], priority: fields[1], weight: w})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-tenant-mix has no entries")
+	}
+	return out, nil
+}
+
+// pickTenant draws a tenant from the mix in proportion to weight.
+func pickTenant(rng *rand.Rand, mix []tenantSpec) tenantSpec {
+	total := 0
+	for _, t := range mix {
+		total += t.weight
+	}
+	r := rng.Intn(total)
+	for _, t := range mix {
+		if r < t.weight {
+			return t
+		}
+		r -= t.weight
+	}
+	return mix[0]
+}
+
+// traceEntry is one line of a -record / -replay JSONL trace.
+type traceEntry struct {
+	Op       string `json:"op"`
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
+}
+
+// loadTrace reads a -replay trace, validating op names up front so a
+// bad trace fails before any load is sent.
+func loadTrace(path string) ([]traceEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("open -replay trace: %w", err)
+	}
+	defer f.Close()
+	var out []traceEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for ln := 1; sc.Scan(); ln++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e traceEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", ln, err)
+		}
+		if _, err := opFromName(e.Op); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", ln, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-replay trace %s is empty", path)
+	}
+	return out, nil
+}
+
+// writeTrace writes a recorded run as a JSONL trace.
+func writeTrace(path string, entries []traceEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func opFromName(name string) (opKind, error) {
+	for i, n := range opNames {
+		if n == name {
+			return opKind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown op %q (want %s)", name, strings.Join(opNames[:], "|"))
+}
+
+// clientCache hands out one client per (tenant, priority) identity, so
+// every request carries the right QoS headers over a shared transport.
+type clientCache struct {
+	mu      sync.Mutex
+	base    string
+	plain   *client.Client
+	clients map[string]*client.Client
+}
+
+func newClientCache(base string, plain *client.Client) *clientCache {
+	return &clientCache{base: base, plain: plain, clients: map[string]*client.Client{}}
+}
+
+func (cc *clientCache) get(tenant, priority string) *client.Client {
+	if tenant == "" && priority == "" {
+		return cc.plain
+	}
+	key := tenant + "|" + priority
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c, ok := cc.clients[key]; ok {
+		return c
+	}
+	var opts []client.Option
+	if tenant != "" {
+		opts = append(opts, client.WithTenant(tenant))
+	}
+	if priority != "" {
+		opts = append(opts, client.WithPriority(priority))
+	}
+	c := client.New(cc.base, opts...)
+	cc.clients[key] = c
+	return c
+}
+
+// tenantReport is the per-tenant section of the load report: how much
+// of the run each tenant got through admission, and at what latency.
+type tenantReport struct {
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Status429  int     `json:"status_429"`
+	AdmitShare float64 `json:"admit_share"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// tenantTally accumulates one tenant's outcomes during the run.
+type tenantTally struct {
+	requests int
+	ok       int
+	s429     int
+	hist     *obsv.Histogram
+}
+
+func newTenantTally() *tenantTally {
+	return &tenantTally{hist: obsv.NewHistogram(obsv.LatencyBuckets)}
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"butterfly/internal/serve"
+)
+
+func TestParseTenantMix(t *testing.T) {
+	mix, err := parseTenantMix("gold:interactive:4, bronze:batch:1,free::2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("mix = %+v, want 3 entries", mix)
+	}
+	if mix[0] != (tenantSpec{name: "gold", priority: "interactive", weight: 4}) {
+		t.Fatalf("mix[0] = %+v", mix[0])
+	}
+	if mix[2].priority != "" || mix[2].weight != 2 {
+		t.Fatalf("empty priority entry = %+v", mix[2])
+	}
+	for _, bad := range []string{"gold:4", "gold:urgent:4", "gold:batch:0", "gold:batch:x", ","} {
+		if _, err := parseTenantMix(bad); err == nil {
+			t.Fatalf("parseTenantMix(%q) accepted", bad)
+		}
+	}
+	if m, err := parseTenantMix("  "); err != nil || m != nil {
+		t.Fatalf("blank mix = %+v, %v, want nil, nil", m, err)
+	}
+}
+
+func TestPickTenantRespectsWeights(t *testing.T) {
+	mix := []tenantSpec{
+		{name: "a", priority: "interactive", weight: 1},
+		{name: "b", priority: "batch", weight: 4},
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[pickTenant(rng, mix).name]++
+	}
+	// b should land near 4/5 of the draws; a wide tolerance keeps this
+	// deterministic-by-seed test honest without being flaky on reseed.
+	if share := float64(counts["b"]) / 5000; share < 0.75 || share > 0.85 {
+		t.Fatalf("b drew %.3f of requests, want ~0.8", share)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	in := []traceEntry{
+		{Op: "count", Tenant: "gold", Priority: "interactive"},
+		{Op: "estimate"},
+		{Op: "peel", Tenant: "bronze", Priority: "batch"},
+	}
+	if err := writeTrace(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := loadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d entries, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+
+	// Bad traces fail before any load is sent.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"op":"teleport"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace(bad); err == nil {
+		t.Fatal("trace with unknown op accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrace(empty); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+// TestRunTenantMixAndReplay drives a two-tenant mix against a real
+// server, checks the per-tenant report section, then replays the
+// recorded trace and checks the replay is acknowledged in the report.
+func TestRunTenantMixAndReplay(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{
+		Tenants: serve.TenantsConfig{
+			Tenants: map[string]serve.TenantSpec{
+				"gold":   {Weight: 4},
+				"bronze": {Weight: 1},
+			},
+		},
+	}))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	jsonPath := filepath.Join(dir, "report.json")
+	var out strings.Builder
+	err := run([]string{
+		"-addr", ts.URL,
+		"-graph", "load",
+		"-dataset", "occupations",
+		"-scale", "50",
+		"-n", "40",
+		"-c", "4",
+		"-mix", "count=1,estimate=1",
+		"-tenant-mix", "gold:interactive:3,bronze:batch:1",
+		"-record", tracePath,
+		"-unique",
+		"-json", jsonPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "per-tenant admission:") {
+		t.Fatalf("missing per-tenant section:\n%s", out.String())
+	}
+
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.TenantMix == "" || len(rep.Tenants) != 2 {
+		t.Fatalf("tenant report = mix %q, %d tenants (want 2): %+v",
+			rep.TenantMix, len(rep.Tenants), rep.Tenants)
+	}
+	reqs, share := 0, 0.0
+	for name, tr := range rep.Tenants {
+		if tr.Requests == 0 {
+			t.Fatalf("tenant %s issued no requests", name)
+		}
+		reqs += tr.Requests
+		share += tr.AdmitShare
+	}
+	if reqs != 40 {
+		t.Fatalf("per-tenant requests sum to %d, want 40", reqs)
+	}
+	if share < 0.99 || share > 1.01 {
+		t.Fatalf("admit shares sum to %.3f, want 1", share)
+	}
+
+	// The recorded trace replays the identical (op, tenant, priority)
+	// sequence.
+	entries, err := loadTrace(tracePath)
+	if err != nil {
+		t.Fatalf("recorded trace unreadable: %v", err)
+	}
+	if len(entries) != 40 {
+		t.Fatalf("recorded %d entries, want 40", len(entries))
+	}
+	var out2 strings.Builder
+	err = run([]string{
+		"-addr", ts.URL,
+		"-graph", "load2",
+		"-dataset", "occupations",
+		"-scale", "50",
+		"-n", "40",
+		"-c", "4",
+		"-replay", tracePath,
+		"-json", jsonPath,
+	}, &out2)
+	if err != nil {
+		t.Fatalf("replay run: %v\noutput:\n%s", err, out2.String())
+	}
+	b, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 report
+	if err := json.Unmarshal(b, &rep2); err != nil {
+		t.Fatalf("bad replay report JSON: %v", err)
+	}
+	if rep2.Replayed != tracePath {
+		t.Fatalf("replay report names %q, want %q", rep2.Replayed, tracePath)
+	}
+	if len(rep2.Tenants) != 2 {
+		t.Fatalf("replay tenant report: %+v", rep2.Tenants)
+	}
+}

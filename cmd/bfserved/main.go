@@ -47,6 +47,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -99,6 +100,8 @@ func run(args []string, ready chan<- string) error {
 		shards      = fs.String("shards", "", "router only: comma-separated shard base URLs (http://host:port)")
 		replicas    = fs.Int("replicas", 1, "router only: shards holding a read copy of each graph")
 		vnodes      = fs.Int("vnodes", 0, "router only: consistent-hash points per shard (0 = default)")
+		tenantsFile = fs.String("tenants", "", "JSON tenant QoS config file (see docs/QOS.md; hot-reload via POST /admin/tenants)")
+		noLegacy    = fs.Bool("disable-legacy", false, "answer 410 Gone on the deprecated unversioned routes (see docs/SERVING.md \"Legacy sunset\")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +127,15 @@ func run(args []string, ready chan<- string) error {
 		AllowPathLoad:    *pathLoad,
 		EnablePprof:      *pprofOn,
 		DefaultReservoir: *reservoir,
+		DisableLegacy:    *noLegacy,
+	}
+	if *tenantsFile != "" {
+		tcfg, err := loadTenants(*tenantsFile)
+		if err != nil {
+			return err
+		}
+		cfg.Tenants = tcfg
+		log.Printf("tenant QoS config %s: %d named tenant(s)", *tenantsFile, len(tcfg.Tenants))
 	}
 	if *slowMS >= 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowMS) * time.Millisecond
@@ -249,4 +261,22 @@ func run(args []string, ready chan<- string) error {
 		}
 		return err
 	}
+}
+
+// loadTenants parses a -tenants JSON file into the QoS admission
+// config. Unknown fields are rejected so a typo (say "wieght") fails
+// at startup instead of silently running with default scheduling.
+func loadTenants(path string) (serve.TenantsConfig, error) {
+	var cfg serve.TenantsConfig
+	f, err := os.Open(path)
+	if err != nil {
+		return cfg, fmt.Errorf("open -tenants file: %w", err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("parse -tenants file %s: %w", path, err)
+	}
+	return cfg, nil
 }

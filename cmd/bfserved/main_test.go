@@ -2,7 +2,10 @@ package main
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -183,5 +186,106 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-data-dir", t.TempDir(), "-fsync", "sometimes", "-addr", "127.0.0.1:0"}, nil); err == nil {
 		t.Fatal("bad -fsync policy accepted")
+	}
+}
+
+// TestRunTenantsAndLegacyFlags boots the daemon with a -tenants file
+// and -disable-legacy: requests are charged under the configured
+// tenant (echoed back), the config is live on /admin/tenants, and the
+// deprecated unversioned routes answer 410 Gone.
+func TestRunTenantsAndLegacyFlags(t *testing.T) {
+	tf := t.TempDir() + "/tenants.json"
+	if err := os.WriteFile(tf, []byte(`{
+		"default": {"weight": 1},
+		"tenants": {"gold": {"rate": 100, "burst": 10, "weight": 4, "slo_ms": 100}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-preload", "occupations@50",
+			"-tenants", tf,
+			"-disable-legacy",
+			"-drain", "5s",
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	c := client.New(base, client.WithTenant("gold"), client.WithPriority("batch"))
+	if _, err := c.Count(ctx, "occupations", serveapi.CountRequest{}); err != nil {
+		t.Fatalf("count as gold: %v", err)
+	}
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/graphs/occupations/count", strings.NewReader(`{}`))
+	req.Header.Set(serveapi.TenantHeader, "gold")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(serveapi.TenantHeader); got != "gold" {
+		t.Errorf("echoed tenant = %q, want gold", got)
+	}
+
+	// The file config is live on the admin endpoint.
+	areq, _ := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/admin/tenants", nil)
+	aresp, err := http.DefaultClient.Do(areq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if !strings.Contains(string(ab), `"gold"`) {
+		t.Errorf("/admin/tenants missing configured tenant: %s", ab)
+	}
+
+	// Legacy surface is sunset.
+	lreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/graphs/occupations/count", strings.NewReader(`{}`))
+	lresp, err := http.DefaultClient.Do(lreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusGone {
+		t.Errorf("legacy route status = %d, want 410", lresp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server never drained")
+	}
+}
+
+// TestLoadTenantsRejectsTypos: unknown fields in the -tenants file
+// fail at startup rather than silently degrading to default QoS.
+func TestLoadTenantsRejectsTypos(t *testing.T) {
+	tf := t.TempDir() + "/tenants.json"
+	if err := os.WriteFile(tf, []byte(`{"tenants": {"a": {"wieght": 4}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTenants(tf); err == nil {
+		t.Fatal("typo'd tenant config accepted")
+	}
+	if _, err := loadTenants(t.TempDir() + "/missing.json"); err == nil {
+		t.Fatal("missing tenant file accepted")
 	}
 }

@@ -464,3 +464,62 @@ func TestRouterRefresh(t *testing.T) {
 		t.Errorf("partitions after refresh = %d, want 2", cr.Partitions)
 	}
 }
+
+// TestTenantRoundTripThroughRouter: the QoS identity a client attaches
+// survives router → shard (the shard charges and schedules under it)
+// and the shard's resolved echo relays back to the client.
+func TestTenantRoundTripThroughRouter(t *testing.T) {
+	tcfg := serve.TenantsConfig{Tenants: map[string]serve.TenantSpec{"acme": {Weight: 2}}}
+	shards := make([]*httptest.Server, 2)
+	for i := range shards {
+		s := serve.New(serve.Config{Role: "shard", Tenants: tcfg})
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		t.Cleanup(s.Close)
+		shards[i] = ts
+	}
+	_, rts := newRouter(t, urlsOf(shards), Config{})
+	c := client.New(rts.URL)
+	g := mustGen(t)(butterfly.GenerateGnm(40, 30, 200, 5))
+	registerInline(t, c, "qos", g, 1)
+
+	body := bytes.NewReader([]byte(`{}`))
+	req, err := http.NewRequest(http.MethodPost, rts.URL+"/v1/graphs/qos/count", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serveapi.TenantHeader, "acme")
+	req.Header.Set(serveapi.PriorityHeader, "batch")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count through router: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(serveapi.TenantHeader); got != "acme" {
+		t.Errorf("echoed tenant = %q, want acme (lost across the router hop)", got)
+	}
+	if got := resp.Header.Get(serveapi.PriorityHeader); got != "batch" {
+		t.Errorf("echoed priority = %q, want batch", got)
+	}
+	if resp.Header.Get("X-Bf-Shard") == "" {
+		t.Error("response not stamped with the serving shard")
+	}
+
+	// An unknown tenant collapses to default on the shard, and the
+	// client sees the collapse through the router.
+	req2, _ := http.NewRequest(http.MethodPost, rts.URL+"/v1/graphs/qos/count", bytes.NewReader([]byte(`{}`)))
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(serveapi.TenantHeader, "mystery")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get(serveapi.TenantHeader); got != "default" {
+		t.Errorf("unknown tenant echoed %q, want default", got)
+	}
+}

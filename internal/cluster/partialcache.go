@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"butterfly"
+	"butterfly/internal/flight"
 )
 
 // cachedPartial is one partition's pinned partial map. Immutable once
@@ -154,43 +155,19 @@ type gatherOutcome struct {
 	fromCache  bool  // answered from the merged pin, no shard traffic
 }
 
-// flight is one in-progress gather and its eventual outcome.
-type flight struct {
-	done chan struct{}
-	out  gatherOutcome
-}
-
-// flightGroup deduplicates concurrent gathers per key — the
-// singleflight pattern, hand-rolled since the repo is stdlib-only.
-// Keys embed the partial-cache generation, so a flight can only be
-// joined by requests that observed the same mutation history.
+// flightGroup deduplicates concurrent gathers per key — a thin alias
+// over the shared internal/flight singleflight (extracted from this
+// file in PR 10; the serve layer coalesces shard-local kernel
+// executions through the same primitive). Keys embed the partial-
+// cache generation, so a flight can only be joined by requests that
+// observed the same mutation history.
 type flightGroup struct {
-	mu sync.Mutex
-	m  map[string]*flight
+	g flight.Group[gatherOutcome]
 }
 
 // do returns fn's outcome for key, joining an identical in-progress
 // call instead of starting a second one. joined reports whether this
 // caller shared another flight's work.
 func (g *flightGroup) do(key string, fn func() gatherOutcome) (out gatherOutcome, joined bool) {
-	g.mu.Lock()
-	if g.m == nil {
-		g.m = make(map[string]*flight)
-	}
-	if f, ok := g.m[key]; ok {
-		g.mu.Unlock()
-		<-f.done
-		return f.out, true
-	}
-	f := &flight{done: make(chan struct{})}
-	g.m[key] = f
-	g.mu.Unlock()
-
-	f.out = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(f.done)
-	return f.out, false
+	return g.g.Do(key, fn)
 }

@@ -227,6 +227,40 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 }
 
+// TestFlightGroupDelegatesToSharedFlight pins the PR 10 extraction:
+// flightGroup is a thin wrapper over internal/flight, so a leader
+// running under do() is visible as an in-flight key on the embedded
+// group, and its completion frees the key. Combined with
+// TestFlightGroupCoalesces (which exercises the full leader/joiner
+// protocol through the same wrapper), this proves the extraction
+// left router-side coalescing behavior unchanged.
+func TestFlightGroupDelegatesToSharedFlight(t *testing.T) {
+	var fg flightGroup
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out, joined := fg.do("k", func() gatherOutcome {
+			close(entered)
+			<-release
+			return gatherOutcome{count: 9}
+		})
+		if joined || out.count != 9 {
+			t.Errorf("leader do = %+v joined=%v", out, joined)
+		}
+	}()
+	<-entered
+	if got := fg.g.InFlight(); got != 1 {
+		t.Errorf("InFlight during leader = %d, want 1", got)
+	}
+	close(release)
+	<-done
+	if got := fg.g.InFlight(); got != 0 {
+		t.Errorf("InFlight after completion = %d, want 0", got)
+	}
+}
+
 // TestRetryDelayBounds: the jittered backoff stays within
 // [base/2, 3·base/2) of the linear schedule, and grows with attempts.
 func TestRetryDelayBounds(t *testing.T) {

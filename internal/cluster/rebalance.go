@@ -35,7 +35,7 @@ func (rt *Router) inventory(ctx context.Context, shards []string) (map[string][]
 		wg.Add(1)
 		go func(i int, shard string) {
 			defer wg.Done()
-			sr, err := rt.forward(ctx, shard, http.MethodGet, "/v1/graphs", "", 0, nil)
+			sr, err := rt.forward(ctx, shard, http.MethodGet, "/v1/graphs", "", 0, nil, nil)
 			if err == nil && sr.status != http.StatusOK {
 				err = fmt.Errorf("status %d", sr.status)
 			}
@@ -122,7 +122,7 @@ func (rt *Router) desiredPlacement(ring *Ring, name string) []string {
 // (the destination recounts and WAL-logs it), report the move.
 func (rt *Router) moveGraph(ctx context.Context, name, src, dst string) (serveapi.MovedGraph, error) {
 	mv := serveapi.MovedGraph{Graph: name, From: src, To: dst}
-	sr, err := rt.forward(ctx, src, http.MethodGet, "/v1/internal/export/"+url.PathEscape(name), "", 0, nil)
+	sr, err := rt.forward(ctx, src, http.MethodGet, "/v1/internal/export/"+url.PathEscape(name), "", 0, nil, nil)
 	if err == nil && sr.status != http.StatusOK {
 		err = fmt.Errorf("export: status %d: %s", sr.status, truncate(sr.body, 200))
 	}
@@ -139,7 +139,7 @@ func (rt *Router) moveGraph(ctx context.Context, name, src, dst string) (serveap
 		Replace: true,
 	}
 	body, _ := json.Marshal(&adopt)
-	sr, err = rt.forward(ctx, dst, http.MethodPost, "/v1/internal/adopt", "application/json", 0, body)
+	sr, err = rt.forward(ctx, dst, http.MethodPost, "/v1/internal/adopt", "application/json", 0, nil, body)
 	if err == nil && sr.status/100 != 2 {
 		err = fmt.Errorf("adopt: status %d: %s", sr.status, truncate(sr.body, 200))
 	}
@@ -244,7 +244,7 @@ func (rt *Router) handleRebalance(w http.ResponseWriter, r *http.Request) {
 			if wanted(src) {
 				continue
 			}
-			sr, err := rt.forward(r.Context(), src, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), "", 0, nil)
+			sr, err := rt.forward(r.Context(), src, http.MethodDelete, "/v1/graphs/"+url.PathEscape(name), "", 0, nil, nil)
 			if err == nil && sr.status/100 != 2 && sr.status != http.StatusNotFound {
 				err = fmt.Errorf("status %d", sr.status)
 			}

@@ -310,8 +310,10 @@ func (rt *Router) retryDelay(attempt int) time.Duration {
 // forward issues one request to one shard, with cfg.Retries jittered
 // linear-backoff retries on network errors. Non-2xx statuses are
 // returned, not retried — the caller decides which are worth another
-// candidate.
-func (rt *Router) forward(ctx context.Context, shard, method, pathQuery string, contentType string, floor uint64, body []byte) (*shardResp, error) {
+// candidate. hdr carries extra headers to relay shard-ward (the QoS
+// identity of the originating client, via tenantHeaders); nil for
+// router-internal traffic, which runs as the shard's default tenant.
+func (rt *Router) forward(ctx context.Context, shard, method, pathQuery string, contentType string, floor uint64, hdr http.Header, body []byte) (*shardResp, error) {
 	var lastErr error
 	for attempt := 0; attempt <= rt.cfg.Retries; attempt++ {
 		if attempt > 0 {
@@ -330,6 +332,9 @@ func (rt *Router) forward(ctx context.Context, shard, method, pathQuery string, 
 		}
 		if floor > 0 {
 			req.Header.Set("X-Bf-Min-Version", strconv.FormatUint(floor, 10))
+		}
+		for k, vs := range hdr {
+			req.Header[k] = vs
 		}
 		rt.shardReqs.With(shard).Inc()
 		start := time.Now()
@@ -358,10 +363,27 @@ func (rt *Router) forward(ctx context.Context, shard, method, pathQuery string, 
 	return nil, fmt.Errorf("shard %s unreachable: %w", shard, lastErr)
 }
 
+// tenantHeaders extracts the QoS identity a client attached to its
+// request, for relay to the shard that will charge and schedule it.
+func tenantHeaders(r *http.Request) http.Header {
+	var h http.Header
+	for _, k := range []string{serveapi.TenantHeader, serveapi.PriorityHeader} {
+		if v := r.Header.Get(k); v != "" {
+			if h == nil {
+				h = http.Header{}
+			}
+			h.Set(k, v)
+		}
+	}
+	return h
+}
+
 // relay copies a shard's answer to the client, stamping which shard
-// served it.
+// served it. The tenant and priority echoes pass through so a caller
+// behind the router still sees what it was charged as.
 func relay(w http.ResponseWriter, sr *shardResp, shard string) {
-	for _, h := range []string{"Content-Type", "X-Cache", "X-Degraded", "X-Bf-Version", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "X-Cache", "X-Degraded", "X-Bf-Version", "Retry-After",
+		serveapi.TenantHeader, serveapi.PriorityHeader} {
 		if v := sr.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -424,7 +446,7 @@ func (rt *Router) proxyRead(w http.ResponseWriter, r *http.Request, name, subpat
 	var lastShard string
 	var lastErr error
 	for i, shard := range cands {
-		sr, err := rt.forward(r.Context(), shard, r.Method, pathQuery, r.Header.Get("Content-Type"), floor, body)
+		sr, err := rt.forward(r.Context(), shard, r.Method, pathQuery, r.Header.Get("Content-Type"), floor, tenantHeaders(r), body)
 		if err != nil {
 			lastErr = err
 			continue
@@ -480,7 +502,7 @@ func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, name, metho
 		return nil, ""
 	}
 	primary := succ[0]
-	sr, err := rt.forward(r.Context(), primary, method, pathQuery, "application/json", 0, body)
+	sr, err := rt.forward(r.Context(), primary, method, pathQuery, "application/json", 0, tenantHeaders(r), body)
 	if err != nil {
 		rt.writeErr(w, http.StatusServiceUnavailable, serveapi.CodeUnavailable,
 			fmt.Sprintf("primary %s unreachable: %v", primary, err), 1000)
@@ -488,7 +510,7 @@ func (rt *Router) proxyWrite(w http.ResponseWriter, r *http.Request, name, metho
 	}
 	if sr.status/100 == 2 && len(succ) > 1 {
 		for _, rep := range succ[1:] {
-			if _, err := rt.forward(r.Context(), rep, method, pathQuery, "application/json", 0, replicaBody); err != nil {
+			if _, err := rt.forward(r.Context(), rep, method, pathQuery, "application/json", 0, tenantHeaders(r), replicaBody); err != nil {
 				rt.shardErrs.With(rep, "replicate").Inc()
 			}
 		}
@@ -538,7 +560,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, shard string) {
 			defer wg.Done()
-			sr, err := rt.forward(r.Context(), shard, http.MethodGet, "/v1/graphs", "", 0, nil)
+			sr, err := rt.forward(r.Context(), shard, http.MethodGet, "/v1/graphs", "", 0, tenantHeaders(r), nil)
 			if err != nil {
 				outs[i] = listOut{shard: shard, err: err}
 				return
@@ -756,7 +778,7 @@ func (rt *Router) ingestForward(w http.ResponseWriter, r *http.Request, name, pa
 		rt.writeErr(w, http.StatusServiceUnavailable, serveapi.CodeUnavailable, "no shards configured", 1000)
 		return
 	}
-	sr, err := rt.forward(r.Context(), primary, r.Method, pathQuery, r.Header.Get("Content-Type"), 0, body)
+	sr, err := rt.forward(r.Context(), primary, r.Method, pathQuery, r.Header.Get("Content-Type"), 0, tenantHeaders(r), body)
 	if err != nil {
 		rt.writeErr(w, http.StatusServiceUnavailable, serveapi.CodeUnavailable,
 			fmt.Sprintf("primary %s unreachable: %v", primary, err), 1000)
@@ -779,7 +801,7 @@ func (rt *Router) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(shard string) {
 			defer wg.Done()
-			sr, err := rt.forward(r.Context(), shard, http.MethodPost, "/v1/admin/checkpoint", "", 0, nil)
+			sr, err := rt.forward(r.Context(), shard, http.MethodPost, "/v1/admin/checkpoint", "", 0, tenantHeaders(r), nil)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -72,7 +72,7 @@ func (rt *Router) fetchPartial(ctx context.Context, shard, pname string, cp *cac
 	if cp != nil {
 		path += fmt.Sprintf("?since=%d&epoch=%d", cp.version, cp.epoch)
 	}
-	sr, err := rt.forward(ctx, shard, http.MethodGet, path, "", 0, nil)
+	sr, err := rt.forward(ctx, shard, http.MethodGet, path, "", 0, nil, nil)
 	if err != nil {
 		return 0, 0, nil, "", err
 	}
@@ -291,11 +291,16 @@ func (rt *Router) partitionedCount(w http.ResponseWriter, r *http.Request, name 
 
 	if out.live == p && !asEstimate {
 		resp := &serveapi.CountResponse{
-			Graph:       name,
-			Version:     out.sumVersion,
+			ResultMeta: serveapi.ResultMeta{
+				Graph:      name,
+				Version:    out.sumVersion,
+				Partitions: p,
+			},
 			Butterflies: out.count,
-			Partitions:  p,
 			ElapsedMS:   elapsed,
+		}
+		if out.fromCache {
+			resp.Cache = "merged"
 		}
 		if debug {
 			resp.Trace = spanToAPI(tr.Snapshot())
@@ -306,14 +311,19 @@ func (rt *Router) partitionedCount(w http.ResponseWriter, r *http.Request, name 
 
 	scale := float64(p) / float64(out.live)
 	resp := &serveapi.EstimateResponse{
-		Graph:          name,
-		Version:        out.sumVersion,
+		ResultMeta: serveapi.ResultMeta{
+			Graph:      name,
+			Version:    out.sumVersion,
+			Degraded:   out.live < p,
+			Partitions: p,
+		},
 		Strategy:       "partitions",
 		Estimate:       float64(out.count) * scale * scale,
-		Degraded:       out.live < p,
-		Partitions:     p,
 		PartitionsLive: out.live,
 		ElapsedMS:      elapsed,
+	}
+	if out.fromCache {
+		resp.Cache = "merged"
 	}
 	if debug {
 		resp.Trace = spanToAPI(tr.Snapshot())
@@ -393,7 +403,7 @@ func (rt *Router) partitionedRegister(w http.ResponseWriter, r *http.Request, re
 				Edges:   split[i],
 			}
 			body, _ := json.Marshal(&preq)
-			sr, err := rt.forward(r.Context(), homes[i], http.MethodPost, "/v1/graphs", "application/json", 0, body)
+			sr, err := rt.forward(r.Context(), homes[i], http.MethodPost, "/v1/graphs", "application/json", 0, tenantHeaders(r), body)
 			if err == nil && sr.status/100 != 2 {
 				err = fmt.Errorf("shard %s: status %d: %s", homes[i], sr.status, truncate(sr.body, 200))
 			}
@@ -408,7 +418,7 @@ func (rt *Router) partitionedRegister(w http.ResponseWriter, r *http.Request, re
 			for j := 0; j < p; j++ {
 				if outs[j].err == nil {
 					path := "/v1/graphs/" + url.PathEscape(partName(req.Name, j, p))
-					_, _ = rt.forward(r.Context(), homes[j], http.MethodDelete, path, "", 0, nil)
+					_, _ = rt.forward(r.Context(), homes[j], http.MethodDelete, path, "", 0, nil, nil)
 				}
 			}
 			rt.writeErr(w, http.StatusServiceUnavailable, serveapi.CodeUnavailable,
@@ -459,7 +469,7 @@ func (rt *Router) partitionedInfo(w http.ResponseWriter, r *http.Request, name s
 		go func(i int) {
 			defer wg.Done()
 			path := "/v1/graphs/" + url.PathEscape(partName(name, i, p))
-			sr, err := rt.forward(r.Context(), homes[i], http.MethodGet, path, "", 0, nil)
+			sr, err := rt.forward(r.Context(), homes[i], http.MethodGet, path, "", 0, tenantHeaders(r), nil)
 			if err == nil && sr.status != http.StatusOK {
 				err = fmt.Errorf("status %d", sr.status)
 			}
@@ -512,7 +522,7 @@ func (rt *Router) partitionedDrop(w http.ResponseWriter, r *http.Request, name s
 	var errs []string
 	for i := 0; i < p; i++ {
 		path := "/v1/graphs/" + url.PathEscape(partName(name, i, p))
-		sr, err := rt.forward(r.Context(), homes[i], http.MethodDelete, path, "", 0, nil)
+		sr, err := rt.forward(r.Context(), homes[i], http.MethodDelete, path, "", 0, tenantHeaders(r), nil)
 		// 404 is success for a drop retry: the partition is already gone.
 		if err == nil && sr.status/100 != 2 && sr.status != http.StatusNotFound {
 			err = fmt.Errorf("status %d", sr.status)
@@ -567,7 +577,7 @@ func (rt *Router) partitionedMutate(w http.ResponseWriter, r *http.Request, name
 		preq := serveapi.MutateRequest{Inserts: ins[i], Deletes: dels[i]}
 		pbody, _ := json.Marshal(&preq)
 		path := "/v1/graphs/" + url.PathEscape(partName(name, i, p)) + "/mutate"
-		sr, err := rt.forward(r.Context(), homes[i], http.MethodPost, path, "application/json", 0, pbody)
+		sr, err := rt.forward(r.Context(), homes[i], http.MethodPost, path, "application/json", 0, tenantHeaders(r), pbody)
 		if err == nil && sr.status/100 != 2 {
 			// Relay the shard's own error (bad request, overload, …)
 			// verbatim: partial application has already happened for
@@ -607,7 +617,7 @@ func (rt *Router) partitionedMutate(w http.ResponseWriter, r *http.Request, name
 	var edges int64
 	for i := 0; i < p; i++ {
 		path := "/v1/graphs/" + url.PathEscape(partName(name, i, p))
-		if sr, err := rt.forward(r.Context(), homes[i], http.MethodGet, path, "", 0, nil); err == nil && sr.status == http.StatusOK {
+		if sr, err := rt.forward(r.Context(), homes[i], http.MethodGet, path, "", 0, tenantHeaders(r), nil); err == nil && sr.status == http.StatusOK {
 			var gi serveapi.GraphInfo
 			if json.Unmarshal(sr.body, &gi) == nil {
 				edges += gi.NumEdges

@@ -3,69 +3,615 @@ package serve
 import (
 	"context"
 	"errors"
-	"sync/atomic"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
 )
 
 // errShed reports that the admission queue was full — the caller
-// should answer 429.
+// should answer 429 with the "overloaded" code.
 var errShed = errors.New("serve: overloaded, request shed")
 
-// limiter is the admission controller: at most maxInFlight requests
-// execute concurrently and at most maxQueue more wait for a slot.
-// Anything beyond that is shed immediately — under overload the
-// server degrades to fast 429s instead of collapsing under unbounded
-// goroutine and memory growth, and queued requests still honor their
-// deadline while waiting.
-type limiter struct {
-	sem      chan struct{} // buffered to maxInFlight; a token = an execution slot
-	maxQueue int64
-	queued   atomic.Int64 // current waiters
-	shed     atomic.Uint64
+// quotaError reports that a tenant's token bucket is empty. It maps to
+// 429 with the "quota_exhausted" code and carries the refill horizon
+// for the Retry-After hint, so well-behaved clients back off to the
+// tenant's sustained rate instead of hammering the shared queue.
+type quotaError struct {
+	tenant  string
+	retryMS int64
 }
 
-func newLimiter(maxInFlight, maxQueue int) *limiter {
+func (e quotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %q quota exhausted", e.tenant)
+}
+
+// lane is a priority class. Interactive strictly precedes batch: as
+// long as any interactive request is queued, no batch request is
+// dispatched. Fairness across tenants applies within a lane, never
+// across lanes.
+type lane int
+
+const (
+	laneInteractive lane = iota
+	laneBatch
+	numLanes
+)
+
+func (ln lane) String() string {
+	if ln == laneBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// parseLane maps the wire spelling of a priority to a lane. The empty
+// string is the default (interactive) so absent headers cost nothing.
+func parseLane(s string) (lane, error) {
+	switch s {
+	case "", "interactive":
+		return laneInteractive, nil
+	case "batch":
+		return laneBatch, nil
+	default:
+		return 0, badReqf("unknown priority %q (want interactive|batch)", s)
+	}
+}
+
+// TenantSpec configures one tenant's admission budget. The zero value
+// means: unlimited rate, weight 1, half the shared queue budget, and a
+// 250 ms latency objective.
+type TenantSpec struct {
+	// Rate is the sustained admission rate in requests/second fed into
+	// the tenant's token bucket; ≤ 0 means unlimited (no bucket).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity; ≤ 0 derives max(1, Rate).
+	Burst float64 `json:"burst,omitempty"`
+	// Weight is the tenant's share in the weighted round-robin across
+	// queued tenants of the same lane; ≤ 0 means 1.
+	Weight int `json:"weight,omitempty"`
+	// MaxQueue bounds this tenant's waiting requests (both lanes
+	// together); ≤ 0 means half the shared queue budget, so no single
+	// tenant can ever own the whole queue.
+	MaxQueue int `json:"max_queue,omitempty"`
+	// SLOMillis is the per-request latency objective backing the
+	// tenant's burn-rate gauge; ≤ 0 means 250 ms.
+	SLOMillis int `json:"slo_ms,omitempty"`
+}
+
+// TenantsConfig is the QoS admission config: a default spec applied to
+// unknown or unnamed tenants, plus named overrides. It is the wire
+// shape of the -tenants file and of /admin/tenants.
+type TenantsConfig struct {
+	Default TenantSpec            `json:"default"`
+	Tenants map[string]TenantSpec `json:"tenants,omitempty"`
+}
+
+// defaultTenant is the bucket every request without a configured
+// tenant is charged to. Unknown tenant names collapse onto it, which
+// both implements the fallback and keeps metric label cardinality
+// bounded by the config rather than by whatever clients send.
+const defaultTenant = "default"
+
+const (
+	defaultSLOMillis = 250
+	// sloObjective is the success objective behind the burn-rate gauge:
+	// burn = (fraction of requests over the SLO) / (1 - objective).
+	// Burn 1.0 means the tenant is consuming its error budget exactly
+	// as fast as a 99% objective allows; above 1.0 it is burning down.
+	sloObjective = 0.99
+)
+
+func weightOf(s TenantSpec) int {
+	if s.Weight > 0 {
+		return s.Weight
+	}
+	return 1
+}
+
+func burstOf(s TenantSpec) float64 {
+	if s.Burst > 0 {
+		return s.Burst
+	}
+	return math.Max(1, s.Rate)
+}
+
+func sloOf(s TenantSpec) int {
+	if s.SLOMillis > 0 {
+		return s.SLOMillis
+	}
+	return defaultSLOMillis
+}
+
+// queueCapOf bounds one tenant's backlog. The default of half the
+// shared budget guarantees a second tenant always finds room no matter
+// how hard the first floods.
+func queueCapOf(s TenantSpec, maxQueue int) int {
+	if maxQueue <= 0 {
+		return 0
+	}
+	if s.MaxQueue > 0 {
+		if s.MaxQueue > maxQueue {
+			return maxQueue
+		}
+		return s.MaxQueue
+	}
+	c := maxQueue / 2
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// waiter is one queued request. All fields are guarded by limiter.mu.
+type waiter struct {
+	ready    chan struct{} // closed on grant
+	granted  bool          // slot assigned (closed ready)
+	removed  bool          // popped from its queue (granted or evicted)
+	deadline time.Time     // zero = no deadline
+	ts       *tenantState
+	ln       lane
+}
+
+// tenantState is the per-tenant half of the scheduler: a token bucket
+// for sustained-rate admission, per-lane FIFO queues, a WRR credit
+// counter, and counters for the bfserved_tenant_* metric families.
+// All fields are guarded by limiter.mu.
+type tenantState struct {
+	name string
+	spec TenantSpec
+
+	tokens float64
+	last   time.Time
+
+	credits int
+	queues  [numLanes][]*waiter
+	queued  int
+
+	admitted  uint64
+	shedQueue uint64
+	shedQuota uint64
+	evicted   uint64
+
+	served  uint64
+	overSLO uint64
+}
+
+// takeToken refills the bucket by elapsed wall time and takes one
+// token. Unlimited tenants (Rate ≤ 0) always admit. On failure it
+// returns the wait in milliseconds until the next token accrues.
+func (ts *tenantState) takeToken(now time.Time) (ok bool, retryMS int64) {
+	if ts.spec.Rate <= 0 {
+		return true, 0
+	}
+	if dt := now.Sub(ts.last).Seconds(); dt > 0 {
+		ts.tokens = math.Min(burstOf(ts.spec), ts.tokens+dt*ts.spec.Rate)
+		ts.last = now
+	}
+	if ts.tokens >= 1 {
+		ts.tokens--
+		return true, 0
+	}
+	ms := int64(math.Ceil((1 - ts.tokens) / ts.spec.Rate * 1000))
+	if ms < 1 {
+		ms = 1
+	}
+	return false, ms
+}
+
+// limiter is the tenant-aware admission controller: at most capacity
+// requests execute concurrently; excess requests wait in bounded
+// per-tenant queues and are dispatched by strict lane precedence
+// (interactive before batch) and weighted round-robin across tenants
+// within a lane. Everything beyond the queue bounds is shed
+// immediately — under overload the server degrades to fast 429s
+// instead of collapsing under unbounded goroutine growth.
+//
+// Locking discipline: one mutex guards every scheduling decision, and
+// release() dispatches queued waiters under that same lock before any
+// new arrival can observe the freed slot. That yields the scheduler
+// invariant `queued > 0 ⇒ inflight == capacity`: a free slot with a
+// non-empty queue cannot be observed from outside the lock, so the
+// direct-admit check in acquireSlot is sufficient — and the historical
+// race where a request was shed although a slot freed between the
+// lock-free fast-path check and joining the queue is gone by
+// construction (see TestShedOnlyWhenQueueTrulyFull).
+type limiter struct {
+	mu sync.Mutex
+
+	capacity int
+	inflight int
+	maxQueue int
+	queued   int
+
+	cfg        TenantsConfig
+	configured map[string]bool
+	tenants    map[string]*tenantState
+	order      []*tenantState // stable scan order for WRR
+	rr         int            // WRR cursor into order
+
+	shed uint64 // queue-full sheds, all tenants (legacy bfserved_shed_total)
+
+	now func() time.Time // injectable for deterministic bucket tests
+}
+
+// newQoSLimiter builds the weighted-fair admission controller.
+func newQoSLimiter(maxInFlight, maxQueue int, cfg TenantsConfig) *limiter {
 	if maxInFlight < 1 {
 		maxInFlight = 1
 	}
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &limiter{sem: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+	l := &limiter{
+		capacity: maxInFlight,
+		maxQueue: maxQueue,
+		tenants:  map[string]*tenantState{},
+		now:      time.Now,
+	}
+	l.setConfig(cfg)
+	return l
 }
 
-// acquire claims an execution slot, waiting in the bounded queue if
-// necessary. It returns errShed when the queue is full and ctx.Err()
-// when the request deadline expires (or the client disconnects) while
-// queued. A nil return must be paired with exactly one release.
-func (l *limiter) acquire(ctx context.Context) error {
-	// Fast path: free slot, no queueing.
-	select {
-	case l.sem <- struct{}{}:
-		return nil
-	default:
+// newLimiter builds a limiter with the zero tenant config: one
+// unlimited default tenant — exactly the pre-QoS behavior.
+func newLimiter(maxInFlight, maxQueue int) *limiter {
+	return newQoSLimiter(maxInFlight, maxQueue, TenantsConfig{})
+}
+
+// setConfig swaps the tenant config in place (hot reload via
+// /admin/tenants). Existing buckets keep their earned tokens, clamped
+// to the new burst; queued waiters are untouched and drain under the
+// new weights. Tenants dropped from the config stop being resolvable —
+// new requests naming them fall back to the default bucket.
+func (l *limiter) setConfig(cfg TenantsConfig) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.cfg = TenantsConfig{Default: cfg.Default, Tenants: map[string]TenantSpec{}}
+	l.configured = map[string]bool{defaultTenant: true}
+	l.applySpecLocked(defaultTenant, cfg.Default)
+	for name, spec := range cfg.Tenants {
+		if name == "" || name == defaultTenant {
+			continue
+		}
+		l.cfg.Tenants[name] = spec
+		l.configured[name] = true
+		l.applySpecLocked(name, spec)
 	}
-	if l.queued.Add(1) > l.maxQueue {
-		l.queued.Add(-1)
-		l.shed.Add(1)
+}
+
+func (l *limiter) applySpecLocked(name string, spec TenantSpec) {
+	ts := l.tenants[name]
+	if ts == nil {
+		// A tenant configured for the first time starts with a full
+		// bucket of its own burst — creating it via tenantLocked would
+		// seed it with the default spec's burst instead.
+		ts = &tenantState{name: name, spec: spec, tokens: burstOf(spec), last: l.now()}
+		l.tenants[name] = ts
+		l.order = append(l.order, ts)
+		return
+	}
+	ts.spec = spec
+	ts.tokens = math.Min(ts.tokens, burstOf(spec))
+}
+
+// config returns a deep copy of the active tenant config.
+func (l *limiter) config() TenantsConfig {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := TenantsConfig{Default: l.cfg.Default, Tenants: map[string]TenantSpec{}}
+	for name, spec := range l.cfg.Tenants {
+		out.Tenants[name] = spec
+	}
+	return out
+}
+
+// resolve maps a request's claimed tenant to the tenant it is charged
+// as: configured names pass through, everything else (including the
+// empty string) collapses to the default tenant.
+func (l *limiter) resolve(name string) string {
+	if name == "" || name == defaultTenant {
+		return defaultTenant
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.configured[name] {
+		return name
+	}
+	return defaultTenant
+}
+
+// tenantLocked returns the state for a (resolved) tenant name,
+// creating it with a full bucket on first sight.
+func (l *limiter) tenantLocked(name string) *tenantState {
+	if name == "" {
+		name = defaultTenant
+	}
+	ts := l.tenants[name]
+	if ts == nil {
+		spec := l.cfg.Default
+		ts = &tenantState{
+			name:   name,
+			spec:   spec,
+			tokens: burstOf(spec),
+			last:   l.now(),
+		}
+		l.tenants[name] = ts
+		l.order = append(l.order, ts)
+	}
+	return ts
+}
+
+// charge takes one token from the tenant's bucket without claiming an
+// execution slot. It is the whole admission cost for coalesced
+// followers: they share the leader's execution but still pay their own
+// tenant's quota, so coalescing cannot be used to launder load onto
+// another tenant's budget.
+func (l *limiter) charge(tenant string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts := l.tenantLocked(tenant)
+	ok, retry := ts.takeToken(l.now())
+	if !ok {
+		ts.shedQuota++
+		return quotaError{tenant: ts.name, retryMS: retry}
+	}
+	return nil
+}
+
+// acquireSlot claims an execution slot for an already-charged request,
+// waiting in the tenant's bounded queue if the server is saturated.
+// It returns errShed when the tenant's queue (or the shared budget) is
+// full and ctx.Err() when the deadline expires or the client
+// disconnects while queued. A nil return must be paired with exactly
+// one release.
+func (l *limiter) acquireSlot(ctx context.Context, tenant string, ln lane) error {
+	if ln < 0 || ln >= numLanes {
+		ln = laneInteractive
+	}
+	l.mu.Lock()
+	ts := l.tenantLocked(tenant)
+	if l.inflight < l.capacity {
+		// The invariant (queued > 0 ⇒ inflight == capacity) means a free
+		// slot here proves the queue is empty — direct admission cannot
+		// overtake a queued request.
+		l.inflight++
+		ts.admitted++
+		l.mu.Unlock()
+		return nil
+	}
+	if l.queued >= l.maxQueue || ts.queued >= queueCapOf(ts.spec, l.maxQueue) {
+		ts.shedQueue++
+		l.shed++
+		l.mu.Unlock()
 		return errShed
 	}
-	defer l.queued.Add(-1)
+	w := &waiter{ready: make(chan struct{}), ts: ts, ln: ln}
+	if dl, ok := ctx.Deadline(); ok {
+		w.deadline = dl
+	}
+	ts.queues[ln] = append(ts.queues[ln], w)
+	ts.queued++
+	l.queued++
+	l.mu.Unlock()
+
 	select {
-	case l.sem <- struct{}{}:
+	case <-w.ready:
 		return nil
 	case <-ctx.Done():
+		l.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: hand the slot straight to
+			// the next waiter.
+			l.inflight--
+			l.dispatchLocked()
+		} else {
+			l.removeLocked(w)
+		}
+		l.mu.Unlock()
 		return ctx.Err()
 	}
 }
 
-// release returns an execution slot.
-func (l *limiter) release() { <-l.sem }
+// acquireFor is full admission: one token from the tenant's bucket,
+// then an execution slot in the tenant's lane.
+func (l *limiter) acquireFor(ctx context.Context, tenant string, ln lane) error {
+	if err := l.charge(tenant); err != nil {
+		return err
+	}
+	return l.acquireSlot(ctx, tenant, ln)
+}
+
+// acquire is the pre-QoS surface: full admission as the default
+// tenant, interactive lane.
+func (l *limiter) acquire(ctx context.Context) error {
+	return l.acquireFor(ctx, defaultTenant, laneInteractive)
+}
+
+// release returns an execution slot and dispatches queued waiters
+// under the same lock, preserving the scheduler invariant.
+func (l *limiter) release() {
+	l.mu.Lock()
+	l.inflight--
+	l.dispatchLocked()
+	l.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to queued waiters.
+func (l *limiter) dispatchLocked() {
+	for l.inflight < l.capacity && l.queued > 0 {
+		w := l.nextLocked()
+		if w == nil {
+			return
+		}
+		l.inflight++
+		w.ts.admitted++
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// nextLocked picks the next waiter to admit: strict lane precedence,
+// then weighted round-robin across tenants within the lane. Expired
+// waiters encountered during the scan are evicted on the spot, so a
+// dead request never consumes a slot ahead of a live one.
+func (l *limiter) nextLocked() *waiter {
+	now := l.now()
+	for ln := laneInteractive; ln < numLanes; ln++ {
+		if w := l.nextInLaneLocked(ln, now); w != nil {
+			return w
+		}
+	}
+	return nil
+}
+
+// nextInLaneLocked runs one WRR step in a lane. A tenant keeps the
+// cursor while it has credits (so a weight-4 tenant drains up to four
+// requests per round), then the cursor advances. When every
+// backlogged tenant is out of credits the round ends and credits
+// replenish to the configured weights — the second pass then succeeds.
+func (l *limiter) nextInLaneLocked(ln lane, now time.Time) *waiter {
+	n := len(l.order)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			at := (l.rr + i) % n
+			ts := l.order[at]
+			l.evictExpiredLocked(ts, ln, now)
+			if len(ts.queues[ln]) == 0 || ts.credits <= 0 {
+				continue
+			}
+			w := ts.queues[ln][0]
+			ts.queues[ln] = ts.queues[ln][1:]
+			w.removed = true
+			ts.queued--
+			l.queued--
+			ts.credits--
+			if ts.credits <= 0 {
+				at++ // spent: move the cursor past this tenant
+			}
+			l.rr = at % n
+			return w
+		}
+		refreshed := false
+		for _, ts := range l.order {
+			if len(ts.queues[ln]) > 0 {
+				ts.credits = weightOf(ts.spec)
+				refreshed = true
+			}
+		}
+		if !refreshed {
+			return nil
+		}
+	}
+	return nil
+}
+
+// evictExpiredLocked drops waiters whose deadline has already passed.
+// Their goroutines observe ctx.Done and return; removeLocked is then a
+// no-op thanks to the removed flag.
+func (l *limiter) evictExpiredLocked(ts *tenantState, ln lane, now time.Time) {
+	q := ts.queues[ln]
+	kept := q[:0]
+	for _, w := range q {
+		if !w.deadline.IsZero() && now.After(w.deadline) {
+			w.removed = true
+			ts.queued--
+			l.queued--
+			ts.evicted++
+			continue
+		}
+		kept = append(kept, w)
+	}
+	ts.queues[ln] = kept
+}
+
+// removeLocked unlinks a cancelled waiter from its queue.
+func (l *limiter) removeLocked(w *waiter) {
+	if w.removed {
+		return
+	}
+	w.removed = true
+	q := w.ts.queues[w.ln]
+	for i, x := range q {
+		if x == w {
+			w.ts.queues[w.ln] = append(q[:i:i], q[i+1:]...)
+			break
+		}
+	}
+	w.ts.queued--
+	l.queued--
+}
+
+// observe records one finished request's latency against its tenant's
+// SLO, feeding the burn-rate gauge.
+func (l *limiter) observe(tenant string, elapsed time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts := l.tenantLocked(tenant)
+	ts.served++
+	if elapsed.Milliseconds() > int64(sloOf(ts.spec)) {
+		ts.overSLO++
+	}
+}
+
+// tenantStat is a point-in-time snapshot of one tenant's QoS counters
+// for the /metrics exposition.
+type tenantStat struct {
+	name      string
+	weight    int
+	queued    int
+	admitted  uint64
+	shedQueue uint64
+	shedQuota uint64
+	evicted   uint64
+	sloMS     int
+	burn      float64
+}
+
+// tenantStats snapshots every known tenant, sorted by name for stable
+// exposition order.
+func (l *limiter) tenantStats() []tenantStat {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]tenantStat, 0, len(l.order))
+	for _, ts := range l.order {
+		st := tenantStat{
+			name:      ts.name,
+			weight:    weightOf(ts.spec),
+			queued:    ts.queued,
+			admitted:  ts.admitted,
+			shedQueue: ts.shedQueue,
+			shedQuota: ts.shedQuota,
+			evicted:   ts.evicted,
+			sloMS:     sloOf(ts.spec),
+		}
+		if ts.served > 0 {
+			st.burn = float64(ts.overSLO) / float64(ts.served) / (1 - sloObjective)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
+}
 
 // inFlight returns the number of requests currently executing.
-func (l *limiter) inFlight() int { return len(l.sem) }
+func (l *limiter) inFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
 
 // queueDepth returns the number of requests waiting for a slot.
-func (l *limiter) queueDepth() int64 { return l.queued.Load() }
+func (l *limiter) queueDepth() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(l.queued)
+}
 
-// shedTotal returns the cumulative number of shed requests.
-func (l *limiter) shedTotal() uint64 { return l.shed.Load() }
+// shedTotal returns the cumulative number of queue-full sheds.
+func (l *limiter) shedTotal() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shed
+}

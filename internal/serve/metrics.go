@@ -131,6 +131,40 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	fmt.Fprintln(w, "# TYPE bfserved_shed_total counter")
 	fmt.Fprintf(w, "bfserved_shed_total %d\n", s.lim.shedTotal())
 
+	// Per-tenant QoS.
+	tstats := s.lim.tenantStats()
+	fmt.Fprintln(w, "# HELP bfserved_tenant_admitted_total Requests granted an execution slot, per tenant.")
+	fmt.Fprintln(w, "# TYPE bfserved_tenant_admitted_total counter")
+	for _, ts := range tstats {
+		fmt.Fprintf(w, "bfserved_tenant_admitted_total{tenant=%q} %d\n", ts.name, ts.admitted)
+	}
+	fmt.Fprintln(w, "# HELP bfserved_tenant_shed_total Requests shed per tenant by reason: queue (bounded queue full) or quota (token bucket empty).")
+	fmt.Fprintln(w, "# TYPE bfserved_tenant_shed_total counter")
+	for _, ts := range tstats {
+		fmt.Fprintf(w, "bfserved_tenant_shed_total{tenant=%q,reason=\"queue\"} %d\n", ts.name, ts.shedQueue)
+		fmt.Fprintf(w, "bfserved_tenant_shed_total{tenant=%q,reason=\"quota\"} %d\n", ts.name, ts.shedQuota)
+	}
+	fmt.Fprintln(w, "# HELP bfserved_tenant_evicted_total Queued requests abandoned before dispatch (deadline expiry or disconnect), per tenant.")
+	fmt.Fprintln(w, "# TYPE bfserved_tenant_evicted_total counter")
+	for _, ts := range tstats {
+		fmt.Fprintf(w, "bfserved_tenant_evicted_total{tenant=%q} %d\n", ts.name, ts.evicted)
+	}
+	fmt.Fprintln(w, "# HELP bfserved_tenant_queue_depth Requests currently waiting for a slot, per tenant.")
+	fmt.Fprintln(w, "# TYPE bfserved_tenant_queue_depth gauge")
+	for _, ts := range tstats {
+		fmt.Fprintf(w, "bfserved_tenant_queue_depth{tenant=%q} %d\n", ts.name, ts.queued)
+	}
+	fmt.Fprintln(w, "# HELP bfserved_tenant_weight Configured weighted-round-robin weight, per tenant.")
+	fmt.Fprintln(w, "# TYPE bfserved_tenant_weight gauge")
+	for _, ts := range tstats {
+		fmt.Fprintf(w, "bfserved_tenant_weight{tenant=%q} %d\n", ts.name, ts.weight)
+	}
+	fmt.Fprintln(w, "# HELP bfserved_tenant_slo_burn Error-budget burn rate against the tenant's latency SLO (1.0 = spending the budget of a 99% objective exactly).")
+	fmt.Fprintln(w, "# TYPE bfserved_tenant_slo_burn gauge")
+	for _, ts := range tstats {
+		fmt.Fprintf(w, "bfserved_tenant_slo_burn{tenant=%q} %g\n", ts.name, ts.burn)
+	}
+
 	// Durability (only when the daemon runs with a data dir).
 	if s.store != nil {
 		fmt.Fprintln(w, "# HELP bfserved_wal_bytes Current write-ahead log length.")

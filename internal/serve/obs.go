@@ -43,8 +43,15 @@ type reqState struct {
 	route string
 	// debug is true when a /v1 request asked for ?debug=true: the
 	// response carries the span tree and bypasses the result cache in
-	// both directions.
+	// both directions (and request coalescing — a debug trace must
+	// describe this execution, not a shared one).
 	debug bool
+	// tenant is the resolved QoS tenant the request is charged to
+	// (headers first, body fields win; unknown names collapse to
+	// "default"). lane is its resolved priority. Legacy-surface
+	// requests always run as the default tenant, interactive lane.
+	tenant string
+	lane   lane
 }
 
 // root returns the request's root span (nil-safe: a nil state or trace
@@ -95,6 +102,17 @@ type obsMetrics struct {
 	slowQueries   *obsv.CounterVec
 	estimates     *obsv.CounterVec // {kind}
 	ingestEdges   *obsv.CounterVec
+	// tenantSeconds is the per-tenant latency histogram behind the QoS
+	// layer's p99 acceptance numbers. The tenant label set is bounded:
+	// unresolvable names collapse to "default" before they get here.
+	tenantSeconds *obsv.HistogramVec // {tenant}
+	// coalesced counts follower requests that shared a leader's kernel
+	// execution instead of running their own.
+	coalesced *obsv.CounterVec
+	// legacyReqs counts requests still arriving on the deprecated
+	// unversioned aliases, by route — the signal for when the sunset
+	// can complete.
+	legacyReqs *obsv.CounterVec // {route}
 }
 
 func newObsMetrics() *obsMetrics {
@@ -116,6 +134,14 @@ func newObsMetrics() *obsMetrics {
 			"kind"),
 		ingestEdges: reg.Counter("bfserved_ingest_edges_total",
 			"Edges accepted by streaming ingest."),
+		tenantSeconds: reg.Histogram("bfserved_tenant_seconds",
+			"Latency of finished HTTP requests by QoS tenant.",
+			obsv.LatencyBuckets, "tenant"),
+		coalesced: reg.Counter("bfserved_coalesced_total",
+			"Requests that joined an identical in-flight execution instead of running their own."),
+		legacyReqs: reg.Counter("bfserved_legacy_requests_total",
+			"Requests on the deprecated unversioned routes, by route.",
+			"route"),
 	}
 }
 
@@ -125,6 +151,9 @@ func newObsMetrics() *obsMetrics {
 func (m *obsMetrics) observeRequest(st *reqState, elapsed time.Duration, bytes int64) {
 	m.routeSeconds.With(st.route, st.api.String()).Observe(elapsed.Seconds())
 	m.responseBytes.With().Observe(float64(bytes))
+	if st.tenant != "" {
+		m.tenantSeconds.With(st.tenant).Observe(elapsed.Seconds())
+	}
 	for _, stg := range st.tr.Stages() {
 		m.stageSeconds.With(stg.Name).Observe(stg.Dur.Seconds())
 	}

@@ -176,7 +176,10 @@ func (s *Server) execCount(ctx context.Context, snap *Snapshot, req *serveapi.Co
 	if err != nil {
 		return nil, err
 	}
-	resp := &serveapi.CountResponse{Graph: snap.Name, Version: snap.Version, Butterflies: c}
+	resp := &serveapi.CountResponse{
+		ResultMeta:  serveapi.ResultMeta{Graph: snap.Name, Version: snap.Version},
+		Butterflies: c,
+	}
 	if opts.Algorithm == butterfly.AlgorithmFamily {
 		resp.Agg = snap.Graph.ResolvedAgg(opts).String()
 	}
@@ -213,8 +216,8 @@ func (s *Server) execVertexCounts(ctx context.Context, sl *slot, snap *Snapshot,
 		vs[i] = serveapi.VertexCount{Vertex: v, Count: counts[v]}
 	}
 	return &serveapi.VertexCountsResponse{
-		Graph: snap.Name, Version: snap.Version,
-		Side: strings.ToLower(side.String()), Total: total, Vertices: vs,
+		ResultMeta: serveapi.ResultMeta{Graph: snap.Name, Version: snap.Version},
+		Side:       strings.ToLower(side.String()), Total: total, Vertices: vs,
 	}, nil
 }
 
@@ -248,7 +251,8 @@ func (s *Server) execEdgeSupports(ctx context.Context, sl *slot, snap *Snapshot,
 		es[i] = serveapi.EdgeSupport{U: e.U, V: e.V, Count: e.Count}
 	}
 	return &serveapi.EdgeSupportsResponse{
-		Graph: snap.Name, Version: snap.Version, Total: total, Edges: es,
+		ResultMeta: serveapi.ResultMeta{Graph: snap.Name, Version: snap.Version},
+		Total:      total, Edges: es,
 	}, nil
 }
 
@@ -301,13 +305,12 @@ func (s *Server) execEstimate(ctx context.Context, sl *slot, snap *Snapshot, req
 	}
 	s.obs.estimates.With("sample").Inc()
 	return &serveapi.EstimateResponse{
-		Graph:    snap.Name,
-		Version:  snap.Version,
-		Strategy: strategy,
-		Estimate: res.Estimate,
-		StdErr:   res.StdErr,
-		CI95:     res.CI95,
-		Samples:  res.Samples,
+		ResultMeta: serveapi.ResultMeta{Graph: snap.Name, Version: snap.Version},
+		Strategy:   strategy,
+		Estimate:   res.Estimate,
+		StdErr:     res.StdErr,
+		CI95:       res.CI95,
+		Samples:    res.Samples,
 	}, nil
 }
 
@@ -327,14 +330,15 @@ func (s *Server) degradedEstimate(snap *Snapshot) (any, error) {
 		return nil, err
 	}
 	return &serveapi.EstimateResponse{
-		Graph:     snap.Name,
-		Version:   snap.Version,
+		ResultMeta: serveapi.ResultMeta{
+			Graph: snap.Name, Version: snap.Version,
+			Cache: "bypass", Degraded: true,
+		},
 		Strategy:  "edges",
 		Estimate:  res.Estimate,
 		StdErr:    res.StdErr,
 		CI95:      res.CI95,
 		Samples:   res.Samples,
-		Degraded:  true,
 		ElapsedMS: time.Since(start).Milliseconds(),
 	}, nil
 }
@@ -383,7 +387,8 @@ func (s *Server) execPeel(ctx context.Context, sl *slot, snap *Snapshot, req *se
 		return nil, err
 	}
 	return &serveapi.PeelResponse{
-		Graph: snap.Name, Version: snap.Version, Mode: mode, K: req.K,
+		ResultMeta: serveapi.ResultMeta{Graph: snap.Name, Version: snap.Version},
+		Mode:       mode, K: req.K,
 		Engine: engine.String(), Rounds: r.stats.Rounds,
 		EdgesRemaining: r.sub.NumEdges(), Butterflies: r.sub.Count(),
 	}, nil

@@ -9,11 +9,13 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"butterfly"
+	"butterfly/internal/flight"
 	"butterfly/internal/obsv"
 	"butterfly/internal/store"
 	"butterfly/serveapi"
@@ -78,6 +80,15 @@ type Config struct {
 	// It does not change behavior: a shard is an ordinary bfserved that
 	// a router happens to address.
 	Role string
+	// Tenants is the QoS admission config: per-tenant token buckets,
+	// WRR weights and queue bounds (docs/QOS.md). The zero value is one
+	// unlimited default tenant — exactly the pre-QoS behavior. Hot-
+	// reloadable at runtime via POST /admin/tenants.
+	Tenants TenantsConfig
+	// DisableLegacy makes the deprecated unversioned aliases answer
+	// 410 Gone (their Sunset headers point at /v1). The /v1 surface is
+	// unaffected.
+	DisableLegacy bool
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +138,11 @@ type Server struct {
 	arena    *butterfly.Arena
 	draining atomic.Bool
 
+	// flights coalesces identical in-flight queries: concurrent cache
+	// misses on one key share a single kernel execution, keyed by the
+	// result-cache key (api surface, graph, version, normalized query).
+	flights flight.Group[flightOutcome]
+
 	// store is the optional durability layer (Config.Store); ckptCh
 	// nudges the background checkpointer, stopCh ends it.
 	store     *store.Store
@@ -147,7 +163,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     NewRegistry(),
-		lim:     newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		lim:     newQoSLimiter(cfg.MaxInFlight, cfg.MaxQueue, cfg.Tenants),
 		cache:   newResultCache(cfg.CacheEntries),
 		metrics: newMetrics(),
 		obs:     newObsMetrics(),
@@ -285,6 +301,19 @@ func (s *Server) routes() {
 	for _, ep := range internal {
 		s.mux.HandleFunc(ep.method+" /v1"+ep.path, s.instrument(ep.route, apiV1, ep.h))
 	}
+	// QoS admin. Both mounts speak the /v1 envelope: the unversioned
+	// spelling postdates the legacy surface, so it is not part of the
+	// sunset and keeps working under -disable-legacy.
+	for _, ep := range []struct {
+		method string
+		h      http.HandlerFunc
+	}{
+		{"GET", s.handleTenantsGet},
+		{"POST", s.handleTenantsSet},
+	} {
+		s.mux.HandleFunc(ep.method+" /v1/admin/tenants", s.instrument("admin.tenants", apiV1, ep.h))
+		s.mux.HandleFunc(ep.method+" /admin/tenants", s.instrument("admin.tenants", apiV1, ep.h))
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -313,27 +342,62 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// instrument wraps a handler with the per-request trace, the request
-// counter, the latency/size histograms, and the slow-query log.
+// legacySunset is the removal horizon of the unversioned aliases,
+// answered in the Sunset header (RFC 8594) of every legacy response;
+// the Link header points at the migration note.
+const (
+	legacySunset     = "Thu, 01 Apr 2027 00:00:00 GMT"
+	legacySunsetLink = `</docs/SERVING.md#legacy-sunset>; rel="sunset"`
+)
+
+// instrument wraps a handler with the per-request trace, tenant
+// resolution, the request counter, the latency/size histograms, and
+// the slow-query log.
 func (s *Server) instrument(route string, api apiVer, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		st := &reqState{
-			tr:    obsv.NewTrace("request"),
-			api:   api,
-			route: route,
-			debug: api == apiV1 && debugRequested(r),
+			tr:     obsv.NewTrace("request"),
+			api:    api,
+			route:  route,
+			debug:  api == apiV1 && debugRequested(r),
+			tenant: defaultTenant,
+		}
+		// Tenancy is a /v1 feature: headers first, body fields win later
+		// (applyTenant). The legacy surface predates tenancy and always
+		// runs as the default tenant in the interactive lane.
+		var laneErr error
+		if api == apiV1 {
+			st.tenant = s.lim.resolve(r.Header.Get(serveapi.TenantHeader))
+			st.lane, laneErr = parseLane(r.Header.Get(serveapi.PriorityHeader))
 		}
 		r = withState(r, st)
 		if api == apiLegacy {
-			// The unversioned surface is a deprecated alias of /v1.
+			// The unversioned surface is a deprecated alias of /v1 with a
+			// scheduled removal: every response carries the sunset
+			// metadata, and remaining traffic is counted per route so
+			// operators can see when the sunset can complete.
 			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Sunset", legacySunset)
+			w.Header().Set("Link", legacySunsetLink)
+			s.obs.legacyReqs.With(route).Inc()
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
+		switch {
+		case api == apiLegacy && s.cfg.DisableLegacy:
+			writeJSON(sw, http.StatusGone, serveapi.Error{
+				Status:  http.StatusGone,
+				Message: "this unversioned route has been sunset; use /v1" + r.URL.Path,
+			})
+		case laneErr != nil:
+			s.writeError(sw, r, laneErr)
+		default:
+			h(sw, r)
+		}
 		elapsed := time.Since(start)
 		s.metrics.observe(route, sw.code, elapsed)
 		s.obs.observeRequest(st, elapsed, sw.bytes)
+		s.lim.observe(st.tenant, elapsed)
 		if s.slow.Should(elapsed) {
 			s.obs.slowQueries.With().Inc()
 			s.slow.Record(slowEntry{
@@ -400,9 +464,14 @@ func errMap(err error) (status int, code string, retryMS int64) {
 	var lo ErrLoading
 	var ni ErrNotIngesting
 	var rb replicaBehindError
+	var qe quotaError
 	switch {
 	case errors.As(err, &br):
 		return http.StatusBadRequest, serveapi.CodeInvalidArgument, 0
+	case errors.As(err, &qe):
+		// The tenant's token bucket is empty: the retry hint is the
+		// bucket's actual refill horizon, not a generic backoff.
+		return http.StatusTooManyRequests, serveapi.CodeQuotaExhausted, qe.retryMS
 	case errors.As(err, &rb):
 		// The caller (a router, usually) should retry another replica
 		// or wait for this one to catch up; either way, soon.
@@ -434,7 +503,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	st := stateOf(r)
 	status, code, retryMS := errMap(err)
 	if retryMS > 0 {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.FormatInt((retryMS+999)/1000, 10))
 	}
 	sp := st.root().Child("render")
 	if st.api != apiV1 {
@@ -691,9 +760,16 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	if err := s.applyTenant(r, req.Tenant, req.Priority); err != nil {
+		psp.End()
+		s.writeError(w, r, err)
+		return
+	}
 	psp.End()
+	st := stateOf(r)
+	echoTenant(w, st)
 	asp := root.Child("admission")
-	err := s.lim.acquire(r.Context())
+	err := s.lim.acquireFor(r.Context(), st.tenant, st.lane)
 	asp.End()
 	if err != nil {
 		s.writeError(w, r, err)
@@ -729,6 +805,14 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 
 // --- query endpoints ---
 
+// flightOutcome is what a coalesced query execution publishes to its
+// followers: the leader's exact rendered bytes (followers must observe
+// the leader's body bit-for-bit) or the leader's error.
+type flightOutcome struct {
+	body []byte
+	err  error
+}
+
 // serveQuery is the shared skeleton of every cached, admission-
 // controlled, deadline-bounded query endpoint:
 //
@@ -736,18 +820,39 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 //  2. check the result cache under (name, version, key) — hits skip
 //     admission entirely, which is what makes a hot cache absorb
 //     traffic spikes;
-//  3. acquire an execution slot (429 when the queue is full, 504 when
-//     the deadline expires while queued);
-//  4. run exec under the deadline (504 on expiry);
-//  5. render, cache, reply. Cache status is reported in the X-Cache
-//     header so bodies stay byte-identical between hit and miss.
+//  3. charge one token from the requester's tenant bucket (429
+//     quota_exhausted with the bucket's refill horizon when empty);
+//  4. coalesce with any identical in-flight query: one leader acquires
+//     an execution slot (429 overloaded when its tenant's queue is
+//     full, 504 when the deadline expires while queued), runs exec
+//     under the deadline, renders and caches; followers wait and
+//     observe the leader's exact bytes (X-Cache: coalesced). Step 3
+//     runs before the coalescing point, so a thundering herd shares
+//     one kernel execution but every request pays its own tenant's
+//     quota;
+//  5. reply. Cache status is reported in the X-Cache header so bodies
+//     stay byte-identical between hit, miss and coalesced.
 //
-// The cache key is prefixed with the API surface (legacy responses and
-// /v1 responses are byte-identical today, but keying them apart means
-// a future divergence cannot serve one surface's bytes to the other),
-// and ?debug=true requests bypass the cache in both directions: a
-// debug response carries its own trace, so it must be neither served
-// from nor stored into the shared cache.
+// The flight key is the cache key: API surface, graph, version and
+// normalized query (including the aggregation mode for counts) — the
+// same identity that makes two responses byte-interchangeable. Legacy
+// and /v1 requests therefore never share an execution, for the same
+// reason they do not share cache entries.
+//
+// The leader executes on a context detached from its own client
+// (context.WithoutCancel): its result is shared, so a leader
+// disconnect must not poison every follower. The resolved timeout
+// still bounds the run. Followers wait for the leader without a bound
+// of their own — the leader's deadline is the bound — and inherit the
+// leader's error verbatim (a 504 for a too-slow leader, a 429 for a
+// full queue), except that the degrade-to-estimate fallback is applied
+// per request: a follower that asked for ?degrade=estimate degrades
+// even when the leader did not ask for it.
+//
+// ?debug=true requests bypass the cache and the coalescing in both
+// directions: a debug response carries its own trace, so it must
+// describe its own execution and be neither served from nor stored
+// into shared state.
 //
 // onShed, when non-nil, is the degrade-to-estimate fallback: instead
 // of answering 429 when the admission queue is full, the request is
@@ -770,6 +875,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS in
 		s.writeError(w, r, err)
 		return
 	}
+	echoTenant(w, st)
 	cacheKey := fmt.Sprintf("%s|%s|v%d|%s", st.api, snap.Name, snap.Version, key)
 	if !st.debug {
 		csp := root.Child("cache")
@@ -786,14 +892,77 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS in
 		}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
-	defer cancel()
-
+	// Every request pays its own tenant's quota before anything is
+	// shared: coalesced followers ride the leader's execution, never
+	// its budget.
 	asp := root.Child("admission")
-	err = s.lim.acquire(ctx)
+	err = s.lim.charge(st.tenant)
 	asp.End()
 	if err != nil {
-		if errors.Is(err, errShed) && onShed != nil {
+		s.writeError(w, r, err)
+		return
+	}
+
+	if st.debug {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(timeoutMS))
+		defer cancel()
+		qsp := root.Child("admission")
+		err = s.lim.acquireSlot(ctx, st.tenant, st.lane)
+		qsp.End()
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		sl := &slot{lim: s.lim}
+		defer sl.release()
+		start := time.Now()
+		ksp := root.Child("kernel")
+		s.compute(ctx)
+		resp, err := exec(ctx, sl, snap, ksp)
+		ksp.End()
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		setElapsed(resp, time.Since(start).Milliseconds())
+		// Debug responses carry their span tree and are never cached.
+		s.writeOK(w, r, http.StatusOK, resp)
+		return
+	}
+
+	out, joined := s.flights.Do(cacheKey, func() flightOutcome {
+		ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.timeout(timeoutMS))
+		defer cancel()
+		qsp := root.Child("admission")
+		err := s.lim.acquireSlot(ctx, st.tenant, st.lane)
+		qsp.End()
+		if err != nil {
+			return flightOutcome{err: err}
+		}
+		sl := &slot{lim: s.lim}
+		defer sl.release()
+		start := time.Now()
+		ksp := root.Child("kernel")
+		s.compute(ctx)
+		resp, err := exec(ctx, sl, snap, ksp)
+		ksp.End()
+		if err != nil {
+			return flightOutcome{err: err}
+		}
+		setElapsed(resp, time.Since(start).Milliseconds())
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return flightOutcome{err: err}
+		}
+		body = append(body, '\n')
+		s.cache.put(cacheKey, body)
+		return flightOutcome{body: body}
+	})
+	if joined {
+		s.obs.coalesced.With().Inc()
+	}
+	if out.err != nil {
+		if errors.Is(out.err, errShed) && onShed != nil {
 			dsp := root.Child("degrade")
 			resp, derr := onShed(snap)
 			dsp.End()
@@ -804,44 +973,75 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, timeoutMS in
 				return
 			}
 		}
-		s.writeError(w, r, err)
-		return
-	}
-	sl := &slot{lim: s.lim}
-	defer sl.release()
-
-	start := time.Now()
-	ksp := root.Child("kernel")
-	s.compute(ctx)
-	resp, err := exec(ctx, sl, snap, ksp)
-	ksp.End()
-	if err != nil {
-		s.writeError(w, r, err)
-		return
-	}
-	elapsed := time.Since(start).Milliseconds()
-	setElapsed(resp, elapsed)
-
-	if st.debug {
-		// Debug responses carry their span tree and are never cached.
-		s.writeOK(w, r, http.StatusOK, resp)
+		s.writeError(w, r, out.err)
 		return
 	}
 
 	wsp := root.Child("render")
-	body, err := json.Marshal(resp)
-	if err != nil {
-		wsp.End()
+	if joined {
+		w.Header().Set("X-Cache", "coalesced")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.body)
+	wsp.End()
+}
+
+// echoTenant reports the resolved tenant and priority back to the
+// caller — headers only. Response bodies are shared across tenants by
+// the result cache and by coalescing, so tenancy must never leak into
+// them.
+func echoTenant(w http.ResponseWriter, st *reqState) {
+	if st.api != apiV1 {
+		return
+	}
+	w.Header().Set(serveapi.TenantHeader, st.tenant)
+	w.Header().Set(serveapi.PriorityHeader, st.lane.String())
+}
+
+// applyTenant applies a request body's tenant/priority fields; the
+// body wins over the headers instrument resolved. Legacy requests
+// ignore both — the old surface predates tenancy.
+func (s *Server) applyTenant(r *http.Request, tenant, priority string) error {
+	st := stateOf(r)
+	if st.api != apiV1 {
+		return nil
+	}
+	if tenant != "" {
+		st.tenant = s.lim.resolve(tenant)
+	}
+	if priority != "" {
+		ln, err := parseLane(priority)
+		if err != nil {
+			return err
+		}
+		st.lane = ln
+	}
+	return nil
+}
+
+// --- QoS admin endpoints ---
+
+// handleTenantsGet returns the active tenant config.
+func (s *Server) handleTenantsGet(w http.ResponseWriter, r *http.Request) {
+	cfg := s.lim.config()
+	s.writeOK(w, r, http.StatusOK, &cfg)
+}
+
+// handleTenantsSet hot-swaps the tenant config. Buckets keep their
+// earned tokens (clamped to the new burst) and queued requests drain
+// under the new weights; nothing in flight is disturbed.
+func (s *Server) handleTenantsSet(w http.ResponseWriter, r *http.Request) {
+	var cfg TenantsConfig
+	if err := decodeBody(r, &cfg); err != nil {
 		s.writeError(w, r, err)
 		return
 	}
-	body = append(body, '\n')
-	s.cache.put(cacheKey, body)
-	w.Header().Set("X-Cache", "miss")
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(body)
-	wsp.End()
+	s.lim.setConfig(cfg)
+	out := s.lim.config()
+	s.writeOK(w, r, http.StatusOK, &out)
 }
 
 // setElapsed stamps the compute latency on the response types that
@@ -868,6 +1068,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 	psp := stateOf(r).root().Child("parse")
 	var req serveapi.CountRequest
 	if err := decodeBody(r, &req); err != nil {
+		psp.End()
+		s.writeError(w, r, err)
+		return
+	}
+	if err := s.applyTenant(r, req.Tenant, req.Priority); err != nil {
 		psp.End()
 		s.writeError(w, r, err)
 		return
@@ -904,6 +1109,11 @@ func (s *Server) handleVertexCounts(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	if err := s.applyTenant(r, req.Tenant, req.Priority); err != nil {
+		psp.End()
+		s.writeError(w, r, err)
+		return
+	}
 	side, err := parseSide(req.Side)
 	if err != nil {
 		psp.End()
@@ -928,6 +1138,11 @@ func (s *Server) handleEdgeSupports(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	if err := s.applyTenant(r, req.Tenant, req.Priority); err != nil {
+		psp.End()
+		s.writeError(w, r, err)
+		return
+	}
 	top := req.Top
 	if top == 0 {
 		top = 100
@@ -947,6 +1162,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, err)
 		return
 	}
+	if err := s.applyTenant(r, req.Tenant, req.Priority); err != nil {
+		psp.End()
+		s.writeError(w, r, err)
+		return
+	}
 	psp.End()
 	// A graph still streaming through /v1/ingest answers from the live
 	// reservoir: O(1), uncached, and deliberately outside admission
@@ -958,7 +1178,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		rsp.End()
 		s.obs.estimates.With("reservoir").Inc()
 		resp := &serveapi.EstimateResponse{
-			Graph:         st.Graph,
+			ResultMeta:    serveapi.ResultMeta{Graph: st.Graph},
 			State:         "loading",
 			Strategy:      "reservoir",
 			Estimate:      st.Estimate,
@@ -979,6 +1199,11 @@ func (s *Server) handlePeel(w http.ResponseWriter, r *http.Request) {
 	psp := stateOf(r).root().Child("parse")
 	var req serveapi.PeelRequest
 	if err := decodeBody(r, &req); err != nil {
+		psp.End()
+		s.writeError(w, r, err)
+		return
+	}
+	if err := s.applyTenant(r, req.Tenant, req.Priority); err != nil {
 		psp.End()
 		s.writeError(w, r, err)
 		return

@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# QoS fairness smoke: boot bfserved with two tenants — fast (weight 4)
+# and slow (weight 1) — cache off so every request is a real kernel
+# run, then prove the two acceptance properties of the admission
+# scheduler end to end:
+#
+#   1. Weighted fairness: both tenants offer identical saturating load
+#      in the same lane; the scheduler's grant ratio must track the
+#      configured 4:1 weights (tolerance below).
+#   2. Lane isolation: a batch-lane flood must not destroy interactive
+#      latency — the interactive tenant's p99 under flood must stay
+#      within 2x its solo baseline.
+#
+# Load shape notes (calibrated on the CI graph): butterfly kernels are
+# fast, so saturating admission from a closed-loop client needs a
+# deliberately slow server — github@2 vertex-counts run ~75 ms, and
+# -max-inflight 1 makes drain ~13 req/s while shed 429s resolve in
+# ~1 ms, keeping every tenant queue backlogged (the regime where the
+# WRR split is exact). Fairness is judged on the server's
+# bfserved_tenant_admitted_total deltas — the scheduler's own grants —
+# because client-side 200s also count coalesced followers, which
+# deliberately ride other tenants' kernel runs.
+#
+# Emits the measurements as BENCH_PR10.json (or $OUT). Used by
+# `make qos-smoke` and the CI qos-smoke job; the committed
+# BENCH_PR10.json is checked against the same thresholds in CI.
+# Needs curl + python3 + standard shell tools.
+set -euo pipefail
+
+ADDR="${ADDR:-127.0.0.1:18095}"
+OUT="${OUT:-BENCH_PR10.json}"
+BIN="${BFSERVED:-./bfserved}"
+LOAD="${BFLOAD:-./bfload}"
+WORK="$(mktemp -d)"
+
+MIX="vertex=1"
+N="${N:-30000}"      # fairness / flood phases (mostly 429s; ~30 s each)
+SOLO_N="${SOLO_N:-240}"
+
+cleanup() {
+  [ "${SERVER:-0}" -gt 0 ] && kill -9 "$SERVER" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [ ! -x "$BIN" ]; then
+  go build -o bfserved ./cmd/bfserved
+  BIN=./bfserved
+fi
+if [ ! -x "$LOAD" ]; then
+  go build -o bfload ./cmd/bfload
+  LOAD=./bfload
+fi
+
+cat >"$WORK/tenants.json" <<'EOF'
+{
+  "default": {"weight": 1},
+  "tenants": {
+    "fast": {"weight": 4, "slo_ms": 250},
+    "slow": {"weight": 1, "slo_ms": 250}
+  }
+}
+EOF
+
+echo "== boot bfserved (github@2, cache off, max-inflight 1, queue 8, fast:4 / slow:1)"
+"$BIN" -addr "$ADDR" -preload github@2 -cache 0 \
+  -max-inflight 1 -queue 8 -tenants "$WORK/tenants.json" &
+SERVER=$!
+for _ in $(seq 1 150); do
+  curl -sf "http://$ADDR/healthz" >/dev/null && break
+  sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+admitted() { # admitted <tenant> — scheduler grants so far, 0 if unseen
+  local v
+  v=$(curl -s "http://$ADDR/metrics" |
+    awk -v t="tenant=\"$1\"" '/^bfserved_tenant_admitted_total/ && $0 ~ t {print $2}')
+  echo "${v:-0}"
+}
+
+tenant_field() { # tenant_field <report.json> <tenant> <field>
+  python3 - "$1" "$2" "$3" <<'PY'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+print(rep["tenants"][sys.argv[2]][sys.argv[3]])
+PY
+}
+
+echo "== solo baseline: interactive tenant alone at its flood-run concurrency"
+"$LOAD" -addr "http://$ADDR" -graph github -no-register \
+  -n "$SOLO_N" -c 4 -mix "$MIX" -unique \
+  -tenant-mix fast:interactive:1 -json "$WORK/solo.json" >/dev/null
+SOLO_P99=$(tenant_field "$WORK/solo.json" fast p99_ms)
+echo "   solo interactive p99 = ${SOLO_P99}ms"
+
+echo "== fairness: equal offered load, server weights 4:1"
+FAST0=$(admitted fast)
+SLOW0=$(admitted slow)
+"$LOAD" -addr "http://$ADDR" -graph github -no-register \
+  -n "$N" -c 32 -mix "$MIX" -unique \
+  -tenant-mix fast:interactive:1,slow:interactive:1 -json "$WORK/fair.json" >/dev/null
+FAST_OK=$(( $(admitted fast) - FAST0 ))
+SLOW_OK=$(( $(admitted slow) - SLOW0 ))
+echo "   scheduler grants: fast=$FAST_OK slow=$SLOW_OK"
+
+echo "== lane isolation: interactive probe under a batch flood"
+# The flood is a separate background bfload so the interactive probe
+# keeps exactly the solo run's closed-loop shape (4 dedicated
+# workers). -allow-5xx: starved batch waiters time out with 504 by
+# design here — interactive holds the slot; -timeout-ms bounds how
+# long they pin a closed-loop worker before cycling.
+"$LOAD" -addr "http://$ADDR" -graph github -no-register \
+  -n "$N" -c 32 -mix "$MIX" -unique -timeout-ms 8000 -allow-5xx \
+  -tenant-mix slow:batch:1 -json "$WORK/floodbg.json" >/dev/null &
+FLOOD=$!
+sleep 3
+"$LOAD" -addr "http://$ADDR" -graph github -no-register \
+  -n "$SOLO_N" -c 4 -mix "$MIX" -unique \
+  -tenant-mix fast:interactive:1 -json "$WORK/flood.json" >/dev/null
+kill "$FLOOD" 2>/dev/null || true
+wait "$FLOOD" 2>/dev/null || true
+FLOOD_P99=$(tenant_field "$WORK/flood.json" fast p99_ms)
+echo "   interactive p99 under flood = ${FLOOD_P99}ms"
+
+kill -TERM "$SERVER"
+wait "$SERVER" 2>/dev/null || true
+SERVER=0
+
+python3 - "$FAST_OK" "$SLOW_OK" "$SOLO_P99" "$FLOOD_P99" "$OUT" <<'PY'
+import json, sys
+
+fast_ok, slow_ok = int(sys.argv[1]), int(sys.argv[2])
+solo_p99, flood_p99 = float(sys.argv[3]), float(sys.argv[4])
+out = sys.argv[5]
+
+ratio = fast_ok / max(1, slow_ok)
+p99x = flood_p99 / max(1e-9, solo_p99)
+rep = {
+    "bench": "qos_smoke",
+    "config": {"weights": {"fast": 4, "slow": 1}, "preload": "github@2",
+               "max_inflight": 1, "queue": 8, "cache": 0,
+               "mix": "vertex=1 -unique"},
+    "fairness": {"fast_admitted": fast_ok, "slow_admitted": slow_ok,
+                 "admit_ratio": round(ratio, 3), "want_ratio": 4.0,
+                 "tolerance": "ratio in [3.2, 5.0]",
+                 "source": "bfserved_tenant_admitted_total deltas"},
+    "lane_isolation": {"solo_interactive_p99_ms": solo_p99,
+                       "flood_interactive_p99_ms": flood_p99,
+                       "p99_ratio": round(p99x, 3), "limit": 2.0},
+}
+json.dump(rep, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(json.dumps(rep, indent=2))
+
+fails = []
+if fast_ok + slow_ok < 200:
+    fails.append(f"only {fast_ok + slow_ok} grants — load did not saturate admission")
+if not 3.2 <= ratio <= 5.0:
+    fails.append(f"admit ratio {ratio:.2f} outside [3.2, 5.0] (want ~4:1)")
+if p99x > 2.0:
+    fails.append(f"interactive p99 under flood is {p99x:.2f}x solo (limit 2x)")
+if fails:
+    for f in fails:
+        print("FAIL:", f, file=sys.stderr)
+    sys.exit(1)
+print("OK: 4:1 weights yield a ~4:1 grant split and the batch "
+      "flood leaves interactive p99 within 2x solo")
+PY

@@ -7,6 +7,19 @@
 // See docs/SERVING.md for the full API reference.
 package serveapi
 
+// QoS headers (see docs/QOS.md). Requests may carry them instead of
+// the body's tenant/priority fields (the body wins when both are
+// present); /v1 responses echo the resolved values back, and a cluster
+// router relays both directions unchanged, so a client can always see
+// which bucket and lane it was actually charged as. /v1 only.
+const (
+	// TenantHeader names the tenant the request is charged to.
+	TenantHeader = "X-Bf-Tenant"
+	// PriorityHeader selects the lane: "interactive" (default) or
+	// "batch".
+	PriorityHeader = "X-Bf-Priority"
+)
+
 // RegisterRequest loads a graph into the server's registry under a
 // name. Exactly one source must be set: Dataset (a synthetic stand-in
 // of the paper's datasets, optionally scaled), Path (a server-side
@@ -69,6 +82,34 @@ type GraphList struct {
 	Trace  *TraceSpan  `json:"trace,omitempty"`
 }
 
+// ResultMeta is the metadata block shared by every query response
+// (count, vertex-counts, edge-supports, estimate, peel): which graph
+// snapshot answered, and how. It is embedded first in each response
+// type, so graph/version keep their historical leading position on
+// the wire and the optional fields marshal only when set — a plain
+// single-node exact answer is byte-identical to the pre-ResultMeta
+// shape on both API surfaces.
+type ResultMeta struct {
+	// Graph and Version identify the snapshot the answer was computed
+	// on. A cluster router reports the sum of partition versions.
+	Graph   string `json:"graph"`
+	Version uint64 `json:"version"`
+	// Cache, when present, reports a body produced outside the result
+	// cache: "bypass" for ?debug=true and degrade-to-estimate answers
+	// (never stored), "merged" for a router answer served from its
+	// pinned merged reduction. Cacheable bodies omit it — the X-Cache
+	// response header is the per-request hit/miss/coalesced signal, so
+	// identical queries can share one cached body across tenants.
+	Cache string `json:"cache,omitempty"`
+	// Degraded marks an approximate answer served in place of an exact
+	// one: the admission limiter's degrade-to-estimate path, or a
+	// router reduction with dead partitions.
+	Degraded bool `json:"degraded,omitempty"`
+	// Partitions, set only by a cluster router, reports that the
+	// answer was reduced from that many shard-resident partitions.
+	Partitions int `json:"partitions,omitempty"`
+}
+
 // CountRequest asks for an exact butterfly count. All fields are
 // optional — the zero value runs the automatically selected family
 // member sequentially. Algorithm is one of "family" (default),
@@ -78,6 +119,16 @@ type GraphList struct {
 // (default), "sort", "hash", "hist" or "batch" (family algorithm
 // only); Order is "natural", "degree-asc" or "degree-desc". Threads
 // ≤ 0 means one worker per CPU.
+//
+// Tenant and Priority identify the caller to the admission
+// controller (see docs/QOS.md): Tenant selects the token bucket and
+// fair-share weight the request is charged against (unknown or empty
+// names fall back to the default tenant) and Priority selects the
+// lane, "interactive" (default) or "batch". Both are /v1-only — the
+// legacy surface always runs as the default tenant — and may equally
+// be supplied as X-Bf-Tenant / X-Bf-Priority headers; body fields
+// win when both are present. The same pair exists on every /v1
+// request type that passes admission.
 type CountRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Invariant int    `json:"invariant,omitempty"`
@@ -88,36 +139,35 @@ type CountRequest struct {
 	Agg       string `json:"agg,omitempty"`
 	// TimeoutMillis overrides the server's default per-request
 	// deadline (capped by the server's maximum).
-	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	TimeoutMillis int    `json:"timeout_ms,omitempty"`
+	Tenant        string `json:"tenant,omitempty"`
+	Priority      string `json:"priority,omitempty"`
 }
 
-// CountResponse reports an exact count. Version identifies the graph
-// snapshot the count was computed on. Agg, present for family counts,
-// is the wedge-aggregation mode the count actually ran — the concrete
-// resolution of the request's "auto", never "auto" itself. Trace is
-// present only when the request asked for ?debug=true on the /v1
-// surface.
+// CountResponse reports an exact count. ResultMeta identifies the
+// graph snapshot the count was computed on. Agg, present for family
+// counts, is the wedge-aggregation mode the count actually ran — the
+// concrete resolution of the request's "auto", never "auto" itself.
+// Trace is present only when the request asked for ?debug=true on
+// the /v1 surface.
 type CountResponse struct {
-	Graph       string `json:"graph"`
-	Version     uint64 `json:"version"`
-	Butterflies int64  `json:"butterflies"`
-	Agg         string `json:"agg,omitempty"`
-	// Partitions, set only by a cluster router, reports that the count
-	// was reduced from that many shard-resident wedge partials
-	// (scatter-gather cross-shard counting); Version is then the sum
-	// of the partition versions.
-	Partitions int        `json:"partitions,omitempty"`
-	ElapsedMS  int64      `json:"elapsed_ms"`
-	Trace      *TraceSpan `json:"trace,omitempty"`
+	ResultMeta
+	Butterflies int64      `json:"butterflies"`
+	Agg         string     `json:"agg,omitempty"`
+	ElapsedMS   int64      `json:"elapsed_ms"`
+	Trace       *TraceSpan `json:"trace,omitempty"`
 }
 
 // VertexCountsRequest asks for the per-vertex butterfly counts of one
 // side ("v1" or "v2", default "v1"), returning the Top highest-count
-// vertices (default 100; ≤ 0 returns all).
+// vertices (default 100; ≤ 0 returns all). Tenant/Priority as on
+// CountRequest.
 type VertexCountsRequest struct {
 	Side          string `json:"side,omitempty"`
 	Top           int    `json:"top,omitempty"`
 	TimeoutMillis int    `json:"timeout_ms,omitempty"`
+	Tenant        string `json:"tenant,omitempty"`
+	Priority      string `json:"priority,omitempty"`
 }
 
 // VertexCount pairs a vertex id with its butterfly count.
@@ -130,8 +180,7 @@ type VertexCount struct {
 // participation; Total sums over the whole side (twice the butterfly
 // count).
 type VertexCountsResponse struct {
-	Graph     string        `json:"graph"`
-	Version   uint64        `json:"version"`
+	ResultMeta
 	Side      string        `json:"side"`
 	Total     int64         `json:"total"`
 	Vertices  []VertexCount `json:"vertices"`
@@ -140,10 +189,12 @@ type VertexCountsResponse struct {
 }
 
 // EdgeSupportsRequest asks for the Top highest-support edges (default
-// 100; ≤ 0 returns all).
+// 100; ≤ 0 returns all). Tenant/Priority as on CountRequest.
 type EdgeSupportsRequest struct {
-	Top           int `json:"top,omitempty"`
-	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	Top           int    `json:"top,omitempty"`
+	TimeoutMillis int    `json:"timeout_ms,omitempty"`
+	Tenant        string `json:"tenant,omitempty"`
+	Priority      string `json:"priority,omitempty"`
 }
 
 // EdgeSupport is one edge with its butterfly support.
@@ -156,8 +207,7 @@ type EdgeSupport struct {
 // EdgeSupportsResponse lists the top edges by butterfly support;
 // Total sums supports over all edges (four times the butterfly count).
 type EdgeSupportsResponse struct {
-	Graph     string        `json:"graph"`
-	Version   uint64        `json:"version"`
+	ResultMeta
 	Total     int64         `json:"total"`
 	Edges     []EdgeSupport `json:"edges"`
 	ElapsedMS int64         `json:"elapsed_ms"`
@@ -182,6 +232,8 @@ type EstimateRequest struct {
 	TargetRelErr  float64 `json:"target_rel_err,omitempty"`
 	MaxSamples    int     `json:"max_samples,omitempty"`
 	TimeoutMillis int     `json:"timeout_ms,omitempty"`
+	Tenant        string  `json:"tenant,omitempty"`
+	Priority      string  `json:"priority,omitempty"`
 }
 
 // EstimateResponse reports an estimated count with its error bars.
@@ -191,28 +243,22 @@ type EstimateRequest struct {
 // and Samples the draws taken. On a loading graph State is "loading",
 // Strategy is "reservoir", Version is 0, and EdgesSeen/ReservoirSize
 // describe the stream; the estimate is exact (zero error bars) while
-// the stream still fits the reservoir. Degraded marks an estimate
-// served in place of an exact count by the admission limiter's
-// degrade-to-estimate path (see CountRequest).
+// the stream still fits the reservoir. ResultMeta.Degraded marks an
+// estimate served in place of an exact count by the admission
+// limiter's degrade-to-estimate path (see CountRequest) or a router
+// reduction with dead partitions: PartitionsLive of
+// ResultMeta.Partitions shard partials reduced and scaled by
+// (Partitions/PartitionsLive)² (Strategy "partitions").
 type EstimateResponse struct {
-	Graph         string  `json:"graph"`
-	Version       uint64  `json:"version"`
-	State         string  `json:"state,omitempty"`
-	Strategy      string  `json:"strategy,omitempty"`
-	Estimate      float64 `json:"estimate"`
-	StdErr        float64 `json:"stderr,omitempty"`
-	CI95          float64 `json:"ci95,omitempty"`
-	Samples       int     `json:"samples,omitempty"`
-	EdgesSeen     int64   `json:"edges_seen,omitempty"`
-	ReservoirSize int     `json:"reservoir_size,omitempty"`
-	Degraded      bool    `json:"degraded,omitempty"`
-	// Partitions/PartitionsLive, set only by a cluster router,
-	// describe a partition-sampling answer: the count was reduced from
-	// PartitionsLive of Partitions shard partials and scaled by
-	// (Partitions/PartitionsLive)², the vertex-sampling estimator over
-	// the partition that happened to be reachable (Strategy
-	// "partitions", Degraded true).
-	Partitions     int        `json:"partitions,omitempty"`
+	ResultMeta
+	State          string     `json:"state,omitempty"`
+	Strategy       string     `json:"strategy,omitempty"`
+	Estimate       float64    `json:"estimate"`
+	StdErr         float64    `json:"stderr,omitempty"`
+	CI95           float64    `json:"ci95,omitempty"`
+	Samples        int        `json:"samples,omitempty"`
+	EdgesSeen      int64      `json:"edges_seen,omitempty"`
+	ReservoirSize  int        `json:"reservoir_size,omitempty"`
 	PartitionsLive int        `json:"partitions_live,omitempty"`
 	ElapsedMS      int64      `json:"elapsed_ms"`
 	Trace          *TraceSpan `json:"trace,omitempty"`
@@ -271,6 +317,8 @@ type PeelRequest struct {
 	Engine        string `json:"engine,omitempty"`
 	Threads       int    `json:"threads,omitempty"`
 	TimeoutMillis int    `json:"timeout_ms,omitempty"`
+	Tenant        string `json:"tenant,omitempty"`
+	Priority      string `json:"priority,omitempty"`
 }
 
 // PeelResponse summarizes the surviving subgraph. Engine is the engine
@@ -278,8 +326,7 @@ type PeelRequest struct {
 // batches (delta) or fixpoint rounds (recount) — engine-specific by
 // nature, which is why the result cache keys peels by engine.
 type PeelResponse struct {
-	Graph          string     `json:"graph"`
-	Version        uint64     `json:"version"`
+	ResultMeta
 	Mode           string     `json:"mode"`
 	K              int64      `json:"k"`
 	Engine         string     `json:"engine"`
@@ -298,6 +345,10 @@ type PeelResponse struct {
 type MutateRequest struct {
 	Inserts [][2]int `json:"inserts,omitempty"`
 	Deletes [][2]int `json:"deletes,omitempty"`
+	// Tenant/Priority as on CountRequest (mutations pass the same
+	// admission controller as queries).
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 }
 
 // MutateResponse reports the effect of a mutation batch.
@@ -424,9 +475,15 @@ const (
 	CodeNotFound = "not_found"
 	// CodeAlreadyExists is a register collision without replace (409).
 	CodeAlreadyExists = "already_exists"
-	// CodeOverloaded is admission-control shedding (429); RetryAfterMS
-	// tells the client when to retry.
+	// CodeOverloaded is admission-control shedding (429): the shared
+	// capacity or the caller's bounded tenant queue is full.
+	// RetryAfterMS tells the client when to retry.
 	CodeOverloaded = "overloaded"
+	// CodeQuotaExhausted is a 429 specific to the caller: the tenant's
+	// token bucket is empty, independent of server load. RetryAfterMS
+	// is derived from the bucket's refill rate — the time until the
+	// next token. See docs/QOS.md.
+	CodeQuotaExhausted = "quota_exhausted"
 	// CodeDeadlineExceeded is a request that ran past its deadline
 	// (504).
 	CodeDeadlineExceeded = "deadline_exceeded"
@@ -455,8 +512,9 @@ const (
 
 // ErrorDetail is the body of the /v1 error envelope: a machine code
 // from the Code* constants, a human-readable message, an optional
-// retry hint (only with CodeOverloaded), and — when the request asked
-// for ?debug=true — the request's span tree.
+// retry hint (with CodeOverloaded, CodeQuotaExhausted, and the 503
+// codes), and — when the request asked for ?debug=true — the
+// request's span tree.
 type ErrorDetail struct {
 	Code         string     `json:"code"`
 	Message      string     `json:"message"`

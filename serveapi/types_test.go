@@ -56,9 +56,27 @@ func TestWireFormat(t *testing.T) {
 			`{}`,
 		},
 		{
+			// The ResultMeta embedding keeps graph/version leading and
+			// omits cache/degraded/partitions when unset, so the plain
+			// exact-count body is byte-identical to the PR 5 golden.
 			"CountResponse",
-			&CountResponse{Graph: "g", Version: 2, Butterflies: 36, ElapsedMS: 5},
+			&CountResponse{ResultMeta: ResultMeta{Graph: "g", Version: 2}, Butterflies: 36, ElapsedMS: 5},
 			`{"graph":"g","version":2,"butterflies":36,"elapsed_ms":5}`,
+		},
+		{
+			// The full metadata block: a router answer served from its
+			// pinned merged reduction.
+			"CountResponse merged meta",
+			&CountResponse{ResultMeta: ResultMeta{Graph: "g", Version: 6, Cache: "merged", Partitions: 4},
+				Butterflies: 36, ElapsedMS: 1},
+			`{"graph":"g","version":6,"cache":"merged","partitions":4,` +
+				`"butterflies":36,"elapsed_ms":1}`,
+		},
+		{
+			// Tenant/priority ride any /v1 request that passes admission.
+			"CountRequest with tenant",
+			&CountRequest{Invariant: 2, Tenant: "dashboards", Priority: "interactive"},
+			`{"invariant":2,"tenant":"dashboards","priority":"interactive"}`,
 		},
 		{
 			"VertexCountsRequest",
@@ -67,7 +85,7 @@ func TestWireFormat(t *testing.T) {
 		},
 		{
 			"VertexCountsResponse",
-			&VertexCountsResponse{Graph: "g", Version: 1, Side: "v1", Total: 72,
+			&VertexCountsResponse{ResultMeta: ResultMeta{Graph: "g", Version: 1}, Side: "v1", Total: 72,
 				Vertices: []VertexCount{{Vertex: 3, Count: 9}}, ElapsedMS: 1},
 			`{"graph":"g","version":1,"side":"v1","total":72,` +
 				`"vertices":[{"vertex":3,"count":9}],"elapsed_ms":1}`,
@@ -79,7 +97,7 @@ func TestWireFormat(t *testing.T) {
 		},
 		{
 			"EdgeSupportsResponse",
-			&EdgeSupportsResponse{Graph: "g", Version: 1, Total: 144,
+			&EdgeSupportsResponse{ResultMeta: ResultMeta{Graph: "g", Version: 1}, Total: 144,
 				Edges: []EdgeSupport{{U: 1, V: 2, Count: 4}}, ElapsedMS: 1},
 			`{"graph":"g","version":1,"total":144,` +
 				`"edges":[{"u":1,"v":2,"count":4}],"elapsed_ms":1}`,
@@ -96,14 +114,14 @@ func TestWireFormat(t *testing.T) {
 		},
 		{
 			"EstimateResponse",
-			&EstimateResponse{Graph: "g", Version: 1, Estimate: 35.5, ElapsedMS: 2},
+			&EstimateResponse{ResultMeta: ResultMeta{Graph: "g", Version: 1}, Estimate: 35.5, ElapsedMS: 2},
 			`{"graph":"g","version":1,"estimate":35.5,"elapsed_ms":2}`,
 		},
 		{
 			// A sampling estimate on a registered graph carries the
 			// estimator name, error bars and the draws taken.
 			"EstimateResponse sampled",
-			&EstimateResponse{Graph: "g", Version: 2, Strategy: "edges", Estimate: 36,
+			&EstimateResponse{ResultMeta: ResultMeta{Graph: "g", Version: 2}, Strategy: "edges", Estimate: 36,
 				StdErr: 1.5, CI95: 2.94, Samples: 64, ElapsedMS: 1},
 			`{"graph":"g","version":2,"strategy":"edges","estimate":36,` +
 				`"stderr":1.5,"ci95":2.94,"samples":64,"elapsed_ms":1}`,
@@ -112,7 +130,7 @@ func TestWireFormat(t *testing.T) {
 			// A reservoir answer on a loading graph: version 0, stream
 			// bookkeeping instead of a sample count.
 			"EstimateResponse loading",
-			&EstimateResponse{Graph: "g", State: "loading", Strategy: "reservoir",
+			&EstimateResponse{ResultMeta: ResultMeta{Graph: "g"}, State: "loading", Strategy: "reservoir",
 				Estimate: 120.5, StdErr: 4, CI95: 7.84, EdgesSeen: 900,
 				ReservoirSize: 512, ElapsedMS: 1},
 			`{"graph":"g","version":0,"state":"loading","strategy":"reservoir",` +
@@ -120,12 +138,23 @@ func TestWireFormat(t *testing.T) {
 				`"reservoir_size":512,"elapsed_ms":1}`,
 		},
 		{
-			// The limiter's degrade-to-estimate path marks the envelope.
+			// The limiter's degrade-to-estimate path marks the metadata
+			// block; degraded answers bypass the result cache, which the
+			// body records.
 			"EstimateResponse degraded",
-			&EstimateResponse{Graph: "g", Version: 2, Strategy: "edges", Estimate: 36,
-				Samples: 256, Degraded: true, ElapsedMS: 1},
-			`{"graph":"g","version":2,"strategy":"edges","estimate":36,` +
-				`"samples":256,"degraded":true,"elapsed_ms":1}`,
+			&EstimateResponse{ResultMeta: ResultMeta{Graph: "g", Version: 2, Cache: "bypass", Degraded: true},
+				Strategy: "edges", Estimate: 36, Samples: 256, ElapsedMS: 1},
+			`{"graph":"g","version":2,"cache":"bypass","degraded":true,` +
+				`"strategy":"edges","estimate":36,"samples":256,"elapsed_ms":1}`,
+		},
+		{
+			// A router reduction missing partitions: live/total plus the
+			// shared degraded marker.
+			"EstimateResponse partitions degraded",
+			&EstimateResponse{ResultMeta: ResultMeta{Graph: "g", Version: 9, Degraded: true, Partitions: 4},
+				Strategy: "partitions", Estimate: 144, PartitionsLive: 2, ElapsedMS: 1},
+			`{"graph":"g","version":9,"degraded":true,"partitions":4,` +
+				`"strategy":"partitions","estimate":144,"partitions_live":2,"elapsed_ms":1}`,
 		},
 		{
 			"IngestRequest",
@@ -180,7 +209,7 @@ func TestWireFormat(t *testing.T) {
 		},
 		{
 			"PeelResponse",
-			&PeelResponse{Graph: "g", Version: 1, Mode: "wing", K: 2,
+			&PeelResponse{ResultMeta: ResultMeta{Graph: "g", Version: 1}, Mode: "wing", K: 2,
 				Engine: "delta", Rounds: 7,
 				EdgesRemaining: 12, Butterflies: 9, ElapsedMS: 3},
 			`{"graph":"g","version":1,"mode":"wing","k":2,` +
@@ -227,6 +256,14 @@ func TestWireFormat(t *testing.T) {
 			`{"error":{"code":"overloaded","message":"server overloaded","retry_after_ms":1000}}`,
 		},
 		{
+			// Tenant bucket empty: same envelope, quota-specific code,
+			// retry hint derived from the bucket refill.
+			"ErrorEnvelope quota exhausted",
+			&ErrorEnvelope{Error: ErrorDetail{Code: CodeQuotaExhausted,
+				Message: `tenant "crawler" quota exhausted`, RetryAfterMS: 250}},
+			`{"error":{"code":"quota_exhausted","message":"tenant \"crawler\" quota exhausted","retry_after_ms":250}}`,
+		},
+		{
 			// Exact queries against a still-loading graph.
 			"ErrorEnvelope loading",
 			&ErrorEnvelope{Error: ErrorDetail{Code: CodeLoading, Message: `graph "g" is still loading; use the estimate endpoint or seal the ingest`}},
@@ -260,7 +297,7 @@ func TestWireFormat(t *testing.T) {
 			// plain shape stays byte-identical (pinned above), and the
 			// debug shape appends the trace last.
 			"CountResponse with trace",
-			&CountResponse{Graph: "g", Version: 2, Butterflies: 36, ElapsedMS: 5,
+			&CountResponse{ResultMeta: ResultMeta{Graph: "g", Version: 2}, Butterflies: 36, ElapsedMS: 5,
 				Trace: &TraceSpan{Name: "request", DurUS: 5000}},
 			`{"graph":"g","version":2,"butterflies":36,"elapsed_ms":5,` +
 				`"trace":{"name":"request","start_us":0,"dur_us":5000}}`,
